@@ -1,0 +1,46 @@
+//! Fig. 2 — the two empirical observations motivating AMUD.
+//!
+//! * **(a)/(b) — O1**: on homophilous CoraML, undirected GNNs on the coarse
+//!   undirected transformation beat directed GNNs on the natural digraph;
+//!   on heterophilous Chameleon the situation flips.
+//! * **(c)/(d) — O2**: undirected edge-wise augmentation (`U-` input) helps
+//!   directed GNNs on CiteSeer but *hurts* them on Squirrel.
+
+use amud_bench::{env_repeats, load, print_header, print_row, run_on, sweep_config};
+
+fn main() {
+    let cfg = sweep_config();
+    let repeats = env_repeats(3);
+
+    println!("Fig. 2(a)/(b) — O1: undirected GNNs (U- input) vs directed GNNs (D- input)\n");
+    print_header("Model", &["cora_ml", "chameleon"]);
+    let cora = load("cora_ml", 42);
+    let chameleon = load("chameleon", 42);
+    for name in ["GCN", "GPRGNN", "AERO-GNN"] {
+        let a = run_on(name, &cora.to_undirected(), cfg, repeats, 0);
+        let b = run_on(name, &chameleon.to_undirected(), cfg, repeats, 0);
+        print_row(&format!("U-{name}"), &[format!("{a}"), format!("{b}")]);
+    }
+    for name in ["DiGCN", "NSTE", "DirGNN"] {
+        let a = run_on(name, &cora, cfg, repeats, 0);
+        let b = run_on(name, &chameleon, cfg, repeats, 0);
+        print_row(&format!("D-{name}"), &[format!("{a}"), format!("{b}")]);
+    }
+
+    println!("\nFig. 2(c)/(d) — O2: directed GNNs with D- vs U- (augmented) inputs\n");
+    print_header("Model", &["citeseer", "squirrel"]);
+    let citeseer = load("citeseer", 42);
+    let squirrel = load("squirrel", 42);
+    for name in ["DiGCN", "NSTE", "DirGNN"] {
+        let d1 = run_on(name, &citeseer, cfg, repeats, 0);
+        let d2 = run_on(name, &squirrel, cfg, repeats, 0);
+        print_row(&format!("D-{name}"), &[format!("{d1}"), format!("{d2}")]);
+        let u1 = run_on(name, &citeseer.to_undirected(), cfg, repeats, 0);
+        let u2 = run_on(name, &squirrel.to_undirected(), cfg, repeats, 0);
+        print_row(&format!("U-{name}"), &[format!("{u1}"), format!("{u2}")]);
+    }
+    println!(
+        "\nExpected shape: U- wins on cora_ml & citeseer (homophily), D- wins on\n\
+         chameleon & squirrel (oriented heterophily)."
+    );
+}

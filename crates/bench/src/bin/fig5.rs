@@ -1,0 +1,33 @@
+//! Fig. 5 — training dynamics: validation accuracy per epoch. ADPA should
+//! converge faster and more stably than the baselines.
+
+use amud_bench::{load, print_row, sweep_config, train_curve_for};
+use amud_train::TrainResult;
+
+fn main() {
+    let mut cfg = sweep_config();
+    cfg.patience = 0; // record the full curve
+    let models = ["GCN", "GPRGNN", "DirGNN", "MagNet", "ADPA"];
+    for dataset in ["tolokers", "wikics", "roman_empire", "texas"] {
+        println!("\nFig. 5 — {dataset}: validation accuracy by epoch\n");
+        let data = load(dataset, 42);
+        let curves: Vec<(&str, TrainResult)> =
+            models.iter().map(|&m| (m, train_curve_for(m, &data, cfg, 0))).collect();
+        let header: Vec<String> = models.iter().map(|s| s.to_string()).collect();
+        print_row("epoch", &header);
+        for epoch in (0..cfg.epochs).step_by(10) {
+            let cells: Vec<String> = curves
+                .iter()
+                .map(|(_, r)| {
+                    r.curve
+                        .get(epoch)
+                        .map_or("-".into(), |p| format!("{:.3}", p.val_acc))
+                })
+                .collect();
+            print_row(&format!("{epoch}"), &cells);
+        }
+        let finals: Vec<String> =
+            curves.iter().map(|(_, r)| format!("{:.3}", r.best_val_acc)).collect();
+        print_row("best", &finals);
+    }
+}

@@ -1,0 +1,40 @@
+//! Table I — homophily measures from naturally directed to coarse
+//! undirected transformation, plus the AMUD score, on the four motivating
+//! datasets.
+
+use amud_bench::{env_scale, print_header, print_row};
+use amud_core::amud::amud_score;
+use amud_datasets::replica;
+use amud_graph::measures::homophily_report;
+
+fn main() {
+    println!("Table I: homophily (directed -> undirected) and AMUD score\n");
+    print_header(
+        "Dataset",
+        &["Hnode D", "Hnode U", "Hedge D", "Hedge U", "Hadj D", "Hadj U", "LI D", "LI U", "AMUD"],
+    );
+    for name in ["cora_ml", "chameleon", "citeseer", "squirrel"] {
+        let d = replica(name, env_scale(), 42);
+        let directed = homophily_report(&d.graph);
+        let undirected = homophily_report(&d.graph.to_undirected());
+        let amud = amud_score(d.graph.adjacency(), d.labels(), d.n_classes());
+        print_row(
+            name,
+            &[
+                format!("{:.3}", directed.node),
+                format!("{:.3}", undirected.node),
+                format!("{:.3}", directed.edge),
+                format!("{:.3}", undirected.edge),
+                format!("{:.3}", directed.adjusted),
+                format!("{:.3}", undirected.adjusted),
+                format!("{:.3}", directed.label_informativeness),
+                format!("{:.3}", undirected.label_informativeness),
+                format!("{:.3}", amud.score),
+            ],
+        );
+    }
+    println!(
+        "\nPaper reference: CoraML 0.380, Chameleon 0.657, CiteSeer 0.269, Squirrel 0.693;\n\
+         the classic measures barely move between D and U while AMUD separates the regimes."
+    );
+}

@@ -1,0 +1,12 @@
+//! Table III — accuracy of all models on the six homophilous (AMUD
+//! Score < 0.5) datasets. Undirected baselines receive the U- input,
+//! directed baselines the natural D- input; ADPA follows the AMUD guidance.
+
+use amud_bench::run_accuracy_table;
+
+fn main() {
+    run_accuracy_table(
+        "Table III (homophilous, Score < 0.5)",
+        &["cora_ml", "citeseer", "pubmed", "tolokers", "wikics", "amazon_computers"],
+    );
+}

@@ -1,0 +1,11 @@
+//! Table IV — accuracy of all models on the six heterophilous (AMUD
+//! Score > 0.5) datasets. Same protocol as Table III.
+
+use amud_bench::run_accuracy_table;
+
+fn main() {
+    run_accuracy_table(
+        "Table IV (heterophilous, Score > 0.5)",
+        &["texas", "cornell", "wisconsin", "chameleon", "squirrel", "roman_empire"],
+    );
+}

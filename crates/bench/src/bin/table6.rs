@@ -1,0 +1,43 @@
+//! Table VI — ADPA performance under different k-order DP operator
+//! families (order 1..5, i.e. k = 2, 6, 14, 30, 62 operators).
+//!
+//! Higher orders materialise exponentially many operators, so this sweep
+//! runs at a reduced scale regardless of `AMUD_SCALE` (the paper's finding
+//! — 2-order usually wins, higher orders overfit — is scale-independent).
+
+use amud_bench::{env_repeats, print_header, print_row, run_adpa, sweep_config, to_graph_data};
+use amud_core::AdpaConfig;
+use amud_datasets::{replica, ReplicaScale};
+
+fn main() {
+    let cfg = sweep_config();
+    let repeats = env_repeats(3);
+    let scale = ReplicaScale { node_cap: 400, feature_cap: 64, avg_degree_cap: 10.0 };
+    let datasets = [
+        "cora_ml",
+        "citeseer",
+        "actor",
+        "tolokers",
+        "amazon_rating",
+        "amazon_computers",
+        "texas",
+        "cornell",
+        "wisconsin",
+        "chameleon",
+        "squirrel",
+        "roman_empire",
+    ];
+    println!("Table VI: ADPA accuracy under k-order DP operators (reduced scale)\n");
+    print_header("Dataset", &["1-order", "2-order", "3-order", "4-order", "5-order"]);
+    for name in datasets {
+        let data = to_graph_data(&replica(name, scale, 42));
+        let cells: Vec<String> = (1..=5)
+            .map(|order| {
+                let adpa_cfg = AdpaConfig { max_order: order, k_steps: 2, ..Default::default() };
+                format!("{}", run_adpa(&data, adpa_cfg, cfg, repeats, 0))
+            })
+            .collect();
+        print_row(name, &cells);
+    }
+    println!("\nExpected shape: 2-order best on most rows; 1-order underfits; 4/5-order overfit.");
+}

@@ -1,0 +1,55 @@
+//! Table VII — ablation of the two hierarchical node-wise attention
+//! mechanisms: DP attention variants (Original / Gate / Recursive / JK /
+//! none) and hop attention (on / off).
+
+use amud_bench::{env_repeats, load, print_header, print_row, run_adpa, sweep_config};
+use amud_core::{AdpaConfig, DpAttention};
+
+fn main() {
+    let cfg = sweep_config();
+    let repeats = env_repeats(3);
+    let datasets = ["cora_ml", "citeseer", "chameleon", "squirrel"];
+    println!("Table VII: node-wise attention ablation\n");
+    print_header("Variant", &datasets);
+
+    // AMUD-guided inputs per the paper: cora_ml/citeseer U-, chameleon/squirrel D-.
+    let bundles: Vec<_> = datasets
+        .iter()
+        .map(|n| {
+            let d = load(n, 42);
+            let (prepared, _, _) = amud_core::paradigm::prepare_topology(&d);
+            prepared
+        })
+        .collect();
+
+    let rows: Vec<(&str, AdpaConfig)> = vec![
+        (
+            "w/o DP Attn",
+            AdpaConfig { dp_attention: DpAttention::None, ..Default::default() },
+        ),
+        (
+            "DP-Original",
+            AdpaConfig { dp_attention: DpAttention::Original, ..Default::default() },
+        ),
+        ("DP-Gate", AdpaConfig { dp_attention: DpAttention::Gate, ..Default::default() }),
+        (
+            "DP-Recursive",
+            AdpaConfig { dp_attention: DpAttention::Recursive, ..Default::default() },
+        ),
+        ("DP-JK", AdpaConfig { dp_attention: DpAttention::Jk, ..Default::default() }),
+        (
+            "w/o Hop Attn",
+            AdpaConfig { hop_attention: false, ..Default::default() },
+        ),
+        ("ADPA (full)", AdpaConfig::default()),
+    ];
+
+    for (label, adpa_cfg) in rows {
+        let cells: Vec<String> = bundles
+            .iter()
+            .map(|data| format!("{}", run_adpa(data, adpa_cfg, cfg, repeats, 0)))
+            .collect();
+        print_row(label, &cells);
+    }
+    println!("\nExpected shape: both 'w/o' rows fall below every attention-equipped variant.");
+}

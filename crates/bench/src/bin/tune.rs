@@ -1,0 +1,70 @@
+//! Hyperparameter tuning demo — the reproduction's stand-in for the
+//! paper's Optuna search (Sec. V-A): a deterministic grid search over
+//! ADPA's propagation steps, classifier depth, dropout, learning rate and
+//! convolution coefficient, selected on *validation* accuracy.
+//!
+//! ```sh
+//! cargo run -p amud-bench --release --bin tune [dataset]
+//! ```
+
+use amud_bench::{env_scale, to_graph_data};
+use amud_core::{Adpa, AdpaConfig};
+use amud_datasets::replica;
+use amud_train::{grid_search, train, HyperGrid, TrainConfig};
+
+fn main() {
+    let dataset = std::env::args().nth(1).unwrap_or_else(|| "chameleon".to_string());
+    let d = replica(&dataset, env_scale(), 42);
+    let data = to_graph_data(&d);
+    let (prepared, report, _) = amud_core::paradigm::prepare_topology(&data);
+    println!("tuning ADPA on {dataset} (AMUD S = {:.3}, {:?})\n", report.score, report.decision);
+
+    let grid = HyperGrid {
+        k_steps: vec![1, 2, 3, 4],
+        mlp_layers: vec![1, 2],
+        dropout: vec![0.2, 0.4, 0.6],
+        lr: vec![0.01, 0.001],
+        conv_r: vec![0.0, 0.5],
+    };
+    let points = grid.points();
+    println!("grid: {} candidates", points.len());
+
+    let base = TrainConfig { epochs: 80, patience: 20, lr: 0.01, weight_decay: 5e-4 };
+    let outcomes = grid_search(&points, |p| {
+        let cfg = AdpaConfig {
+            k_steps: p.k_steps,
+            classifier_layers: p.mlp_layers,
+            dropout: p.dropout,
+            conv_r: p.conv_r,
+            ..Default::default()
+        };
+        let mut model = Adpa::new(&prepared, cfg, 0);
+        train(&mut model, &prepared, p.train_config(base), 0).best_val_acc
+    });
+
+    println!("\ntop 5 by validation accuracy:");
+    for o in outcomes.iter().take(5) {
+        println!(
+            "  val {:.3}  K={} layers={} dropout={:.1} lr={} r={:.1}",
+            o.score, o.point.k_steps, o.point.mlp_layers, o.point.dropout, o.point.lr, o.point.conv_r
+        );
+    }
+
+    // Retrain the winner and report the test accuracy.
+    let best = outcomes[0].point;
+    let cfg = AdpaConfig {
+        k_steps: best.k_steps,
+        classifier_layers: best.mlp_layers,
+        dropout: best.dropout,
+        conv_r: best.conv_r,
+        ..Default::default()
+    };
+    let mut model = Adpa::new(&prepared, cfg, 0);
+    let result = train(
+        &mut model,
+        &prepared,
+        best.train_config(TrainConfig { epochs: 200, patience: 30, ..base }),
+        0,
+    );
+    println!("\nbest config test accuracy: {:.3}", result.test_acc);
+}

@@ -1,0 +1,235 @@
+//! # amud-bench
+//!
+//! Experiment harness regenerating every table and figure of the paper's
+//! evaluation section. One binary per artefact:
+//!
+//! | binary | artefact |
+//! |---|---|
+//! | `table1` | Table I — homophily measures, directed vs undirected, + AMUD |
+//! | `table2` | Table II — dataset statistics + AMUD scores |
+//! | `table3` | Table III — accuracy on the six Score<0.5 datasets |
+//! | `table4` | Table IV — accuracy on the six Score>0.5 datasets |
+//! | `table5` | Table V — Actor/Amazon-rating U- vs D- improvements |
+//! | `table6` | Table VI — k-order DP operator sweep |
+//! | `table7` | Table VII — attention-mechanism ablation |
+//! | `fig2`   | Fig. 2 — observations O1/O2 |
+//! | `fig5`   | Fig. 5 — training curves |
+//! | `fig6`   | Fig. 6 — propagation-step sweep |
+//! | `fig7`   | Fig. 7 — sparsity robustness |
+//!
+//! Shared environment knobs (all optional):
+//!
+//! * `AMUD_SCALE` — `tiny` / `default` / `full` replica scale;
+//! * `AMUD_REPEATS` — seeded repeats per cell (default 3);
+//! * `AMUD_EPOCHS` — training epochs (default 150).
+
+use amud_core::{Adpa, AdpaConfig};
+use amud_datasets::{replica, Dataset, ReplicaScale};
+use amud_models::registry::{build_model, is_directed_model};
+use amud_train::{repeat_runs, GraphData, Summary, TrainConfig};
+
+/// Replica scale from `AMUD_SCALE`.
+pub fn env_scale() -> ReplicaScale {
+    match std::env::var("AMUD_SCALE").as_deref() {
+        Ok("tiny") => ReplicaScale::tiny(),
+        Ok("full") => ReplicaScale::full(),
+        _ => ReplicaScale::default(),
+    }
+}
+
+/// Repeats per experiment cell from `AMUD_REPEATS`.
+pub fn env_repeats(default: usize) -> usize {
+    std::env::var("AMUD_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Training epochs from `AMUD_EPOCHS`.
+pub fn env_epochs(default: usize) -> usize {
+    std::env::var("AMUD_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
+}
+
+/// Default training configuration for table sweeps.
+pub fn sweep_config() -> TrainConfig {
+    TrainConfig { epochs: env_epochs(150), patience: 30, lr: 0.01, weight_decay: 5e-4 }
+}
+
+/// Wraps a replica as the harness's [`GraphData`] bundle (directed topology).
+pub fn to_graph_data(d: &Dataset) -> GraphData {
+    GraphData::new(
+        &d.graph,
+        d.features.clone(),
+        d.split.train.clone(),
+        d.split.val.clone(),
+        d.split.test.clone(),
+    )
+}
+
+/// Loads a named replica at the environment scale.
+pub fn load(name: &str, seed: u64) -> GraphData {
+    to_graph_data(&replica(name, env_scale(), seed))
+}
+
+/// Trains a *baseline* with the paper's input convention: undirected GNNs
+/// receive the coarse undirected transformation (`U-`), directed GNNs the
+/// natural digraph (`D-`). Returns the test-accuracy summary.
+pub fn run_baseline(
+    name: &'static str,
+    directed: &GraphData,
+    cfg: TrainConfig,
+    repeats: usize,
+    seed: u64,
+) -> Summary {
+    let input =
+        if is_directed_model(name) { directed.clone() } else { directed.to_undirected() };
+    run_on(name, &input, cfg, repeats, seed)
+}
+
+/// Adapter so boxed registry models satisfy the sized bound of
+/// [`repeat_runs`].
+pub struct Shim(pub Box<dyn amud_train::Model>);
+
+impl amud_train::Model for Shim {
+    fn bank(&self) -> &amud_nn::ParamBank {
+        self.0.bank()
+    }
+    fn bank_mut(&mut self) -> &mut amud_nn::ParamBank {
+        self.0.bank_mut()
+    }
+    fn forward(
+        &self,
+        tape: &mut amud_nn::Tape,
+        data: &GraphData,
+        training: bool,
+        rng: &mut rand::rngs::StdRng,
+    ) -> amud_nn::NodeId {
+        self.0.forward(tape, data, training, rng)
+    }
+    fn name(&self) -> &'static str {
+        self.0.name()
+    }
+}
+
+/// Trains a baseline on exactly the given input (for the U-/D- contrast
+/// experiments of Fig. 2 and Table V).
+pub fn run_on(
+    name: &'static str,
+    input: &GraphData,
+    cfg: TrainConfig,
+    repeats: usize,
+    seed: u64,
+) -> Summary {
+    repeat_runs(|s| Shim(build_model(name, input, s)), input, cfg, repeats, seed).summary
+}
+
+/// Trains ADPA on exactly the given input.
+pub fn run_adpa(
+    input: &GraphData,
+    adpa_cfg: AdpaConfig,
+    cfg: TrainConfig,
+    repeats: usize,
+    seed: u64,
+) -> Summary {
+    repeat_runs(|s| Adpa::new(input, adpa_cfg, s), input, cfg, repeats, seed).summary
+}
+
+/// Trains ADPA with the AMUD-guided input (Fig. 1 workflow: undirected
+/// transformation iff the guidance score is below θ).
+pub fn run_adpa_guided(
+    directed: &GraphData,
+    adpa_cfg: AdpaConfig,
+    cfg: TrainConfig,
+    repeats: usize,
+    seed: u64,
+) -> Summary {
+    let (prepared, _, _) = amud_core::paradigm::prepare_topology(directed);
+    run_adpa(&prepared, adpa_cfg, cfg, repeats, seed)
+}
+
+/// Prints a fixed-width table row.
+pub fn print_row(label: &str, cells: &[String]) {
+    print!("{label:<14}");
+    for c in cells {
+        print!(" {c:>12}");
+    }
+    println!();
+}
+
+/// Prints a header row followed by a separator.
+pub fn print_header(label: &str, cells: &[&str]) {
+    print_row(label, &cells.iter().map(|s| s.to_string()).collect::<Vec<_>>());
+    println!("{}", "-".repeat(14 + 13 * cells.len()));
+}
+
+/// Runs the Table III/IV protocol: every baseline (paper input convention)
+/// plus AMUD-guided ADPA over the given datasets, printing accuracy
+/// mean±std per cell and the average-rank column.
+pub fn run_accuracy_table(title: &str, datasets: &[&str]) {
+    use amud_models::registry::model_names;
+    use amud_train::metrics::average_ranks;
+
+    let cfg = sweep_config();
+    let repeats = env_repeats(3);
+    println!("{title}: accuracy mean±std over {repeats} repeats\n");
+    let mut header: Vec<&str> = datasets.to_vec();
+    header.push("Rank");
+    print_header("Model", &header);
+
+    let bundles: Vec<GraphData> = datasets.iter().map(|n| load(n, 42)).collect();
+    let mut acc_matrix: Vec<Vec<f64>> = Vec::new();
+    let mut labels: Vec<String> = Vec::new();
+
+    // Rows stream as they finish so long sweeps are observable; the rank
+    // column needs every row and is printed as a footer.
+    for name in model_names() {
+        let mut cells = Vec::new();
+        let mut accs = Vec::new();
+        for data in &bundles {
+            let s = run_baseline(name, data, cfg, repeats, 0);
+            accs.push(s.mean);
+            cells.push(format!("{s}"));
+        }
+        acc_matrix.push(accs);
+        labels.push(name.to_string());
+        print_row(name, &cells);
+    }
+    {
+        let mut cells = Vec::new();
+        let mut accs = Vec::new();
+        for data in &bundles {
+            let s = run_adpa_guided(data, AdpaConfig::default(), cfg, repeats, 0);
+            accs.push(s.mean);
+            cells.push(format!("{s}"));
+        }
+        acc_matrix.push(accs);
+        labels.push("ADPA".to_string());
+        print_row("ADPA", &cells);
+    }
+
+    println!("
+Average rank (1 = best):");
+    let ranks = average_ranks(&acc_matrix);
+    let mut order: Vec<usize> = (0..labels.len()).collect();
+    order.sort_by(|&a, &b| ranks[a].partial_cmp(&ranks[b]).expect("ranks are finite"));
+    for i in order {
+        println!("  {:<12} {:.1}", labels[i], ranks[i]);
+    }
+}
+
+/// Records a full training curve for a named model ("ADPA" or any registry
+/// baseline) with the paper's input convention (Fig. 5 helper).
+pub fn train_curve_for(
+    name: &'static str,
+    data: &GraphData,
+    cfg: TrainConfig,
+    seed: u64,
+) -> amud_train::TrainResult {
+    use amud_train::train_with_curve;
+    if name == "ADPA" {
+        let (prepared, _, _) = amud_core::paradigm::prepare_topology(data);
+        let mut model = Adpa::new(&prepared, AdpaConfig::default(), seed);
+        train_with_curve(&mut model, &prepared, cfg, seed)
+    } else {
+        let input = if is_directed_model(name) { data.clone() } else { data.to_undirected() };
+        let mut model = Shim(build_model(name, &input, seed));
+        train_with_curve(&mut model, &input, cfg, seed)
+    }
+}

@@ -1,0 +1,101 @@
+//! The Fig. 1 workflow: AMUD guidance → Paradigm I/II dispatch.
+//!
+//! Newly collected digraphs flow through [`decide`]: AMUD scores the
+//! correlation between 2-order DPs and labels; graphs below the threshold
+//! are undirected-transformed (Paradigm I, handled by undirected GNNs or
+//! ADPA), graphs above it retain their directed edges (Paradigm II, handled
+//! by directed GNNs — ADPA being the paradigm instance the paper proposes).
+
+use crate::amud::{amud_score_profiles, AmudDecision, AmudReport, THETA};
+use amud_train::GraphData;
+
+/// Which learning paradigm the AMUD output feeds (Fig. 1).
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum Paradigm {
+    /// AMUndirected → undirected GNNs.
+    I,
+    /// AMDirected → directed GNNs.
+    II,
+}
+
+impl Paradigm {
+    pub fn from_decision(d: AmudDecision) -> Paradigm {
+        match d {
+            AmudDecision::Undirected => Paradigm::I,
+            AmudDecision::Directed => Paradigm::II,
+        }
+    }
+}
+
+/// Scores the bundle's topology with AMUD. Node profiles are the labels
+/// known at modeling time (training + validation nodes — never test
+/// labels) together with the node features, which are fully observed.
+pub fn decide(data: &GraphData) -> (AmudReport, Paradigm) {
+    let known: Vec<usize> = data.train.iter().chain(data.val.iter()).copied().collect();
+    let report = amud_score_profiles(
+        &data.adj,
+        &data.labels,
+        data.n_classes,
+        Some(&known),
+        Some(&data.features),
+        THETA,
+    );
+    let paradigm = Paradigm::from_decision(report.decision);
+    (report, paradigm)
+}
+
+/// Applies the AMUD guidance to the topology: undirected transformation for
+/// Paradigm I, identity for Paradigm II. Returns the prepared bundle and
+/// the report.
+pub fn prepare_topology(data: &GraphData) -> (GraphData, AmudReport, Paradigm) {
+    let (report, paradigm) = decide(data);
+    let prepared = match paradigm {
+        Paradigm::I => data.to_undirected(),
+        Paradigm::II => data.clone(),
+    };
+    (prepared, report, paradigm)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amud_datasets::{replica, ReplicaScale};
+
+    fn bundle(name: &str) -> GraphData {
+        let d = replica(name, ReplicaScale::default(), 0);
+        GraphData::new(
+            &d.graph,
+            d.features.clone(),
+            d.split.train.clone(),
+            d.split.val.clone(),
+            d.split.test.clone(),
+        )
+    }
+
+    #[test]
+    fn homophilous_replica_goes_paradigm_one() {
+        let d = bundle("cora_ml");
+        let (prepared, report, paradigm) = prepare_topology(&d);
+        assert_eq!(paradigm, Paradigm::I, "S = {}", report.score);
+        assert!(prepared.is_undirected());
+    }
+
+    #[test]
+    fn oriented_heterophilous_replica_goes_paradigm_two() {
+        let d = bundle("texas");
+        let (prepared, report, paradigm) = prepare_topology(&d);
+        assert_eq!(paradigm, Paradigm::II, "S = {}", report.score);
+        assert!(!prepared.is_undirected());
+        assert_eq!(prepared.adj.nnz(), d.adj.nnz(), "Paradigm II must not touch edges");
+    }
+
+    #[test]
+    fn abnormal_heterophilous_replica_goes_paradigm_one() {
+        // Actor: heterophilous by the classic measures, but orientation is
+        // uninformative — AMUD must override the conventional labelling
+        // (the Table V phenomenon).
+        let d = bundle("actor");
+        let (report, paradigm) = decide(&d);
+        assert_eq!(paradigm, Paradigm::I, "S = {}", report.score);
+    }
+}

@@ -1,0 +1,183 @@
+//! Directed-pattern guided K-step feature propagation (Eq. 9).
+//!
+//! The propagation is **weight-free** and independent of training — ADPA's
+//! decoupled design (Sec. IV-A/IV-D). For each DP operator `G_g` (row
+//! normalised) and each step `l = 1..K`:
+//!
+//! ```text
+//! X_g^(l) = G_g · X_g^(l-1),       X_g^(0) = X
+//! ```
+//!
+//! The whole tensor `{X_g^(l)}` plus the initial residual `X^(0)` is
+//! computed once per graph (`O(k·K·m·f)`) and cached; training then only
+//! touches dense matrices.
+
+use amud_graph::PatternSet;
+use amud_nn::DenseMatrix;
+
+/// The cached result of Eq. 9.
+#[derive(Debug, Clone)]
+pub struct PropagatedFeatures {
+    /// `X^(0)` — the initial residual.
+    x0: DenseMatrix,
+    /// `steps[l-1][g]` = `X_{G_g}^{(l)}` for `l = 1..=K`.
+    steps: Vec<Vec<DenseMatrix>>,
+}
+
+impl PropagatedFeatures {
+    /// Runs the propagation for every operator in the set over `k_steps`.
+    ///
+    /// # Panics
+    /// Panics if `k_steps == 0` or the operator/feature shapes disagree.
+    pub fn compute(patterns: &PatternSet, x: &DenseMatrix, k_steps: usize) -> Self {
+        assert!(k_steps >= 1, "propagation needs at least one step");
+        let n = x.rows();
+        let f = x.cols();
+        let mut steps: Vec<Vec<DenseMatrix>> = Vec::with_capacity(k_steps);
+        // Current state per operator, advanced in lockstep.
+        let mut current: Vec<DenseMatrix> = vec![x.clone(); patterns.len()];
+        for _ in 0..k_steps {
+            let mut this_step = Vec::with_capacity(patterns.len());
+            for (g, prop) in patterns.propagators().iter().enumerate() {
+                assert_eq!(prop.n_cols(), n, "operator shape mismatch");
+                let mut next = DenseMatrix::zeros(n, f);
+                prop.spmm(current[g].as_slice(), f, next.as_mut_slice());
+                current[g] = next.clone();
+                this_step.push(next);
+            }
+            steps.push(this_step);
+        }
+        Self { x0: x.clone(), steps }
+    }
+
+    /// Number of propagation steps `K`.
+    pub fn k_steps(&self) -> usize {
+        self.steps.len()
+    }
+
+    /// Number of DP operators `k`.
+    pub fn n_patterns(&self) -> usize {
+        self.steps.first().map_or(0, Vec::len)
+    }
+
+    /// The initial residual `X^(0)`.
+    pub fn x0(&self) -> &DenseMatrix {
+        &self.x0
+    }
+
+    /// `X_{G_g}^{(l)}` for step `l ∈ 1..=K` and operator index `g`.
+    pub fn step(&self, l: usize, g: usize) -> &DenseMatrix {
+        assert!(l >= 1 && l <= self.steps.len(), "step {l} out of 1..=K");
+        &self.steps[l - 1][g]
+    }
+
+    /// All operator features at step `l`, ordered `[X^(0), X_{G_1}^{(l)},
+    /// …, X_{G_k}^{(l)}]` — the concatenation layout of Eq. 9/10.
+    pub fn step_with_residual(&self, l: usize) -> Vec<&DenseMatrix> {
+        let mut out = Vec::with_capacity(self.n_patterns() + 1);
+        out.push(&self.x0);
+        out.extend(self.steps[l - 1].iter());
+        out
+    }
+
+    /// Memory footprint in floats (diagnostics).
+    pub fn n_floats(&self) -> usize {
+        let per = self.x0.rows() * self.x0.cols();
+        per * (1 + self.n_patterns() * self.k_steps())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amud_graph::{CsrMatrix, PatternSet};
+
+    fn cycle_patterns() -> PatternSet {
+        // 4-cycle digraph: deterministic propagation.
+        let a = CsrMatrix::from_edges(4, 4, vec![(0, 1), (1, 2), (2, 3), (3, 0)]).unwrap();
+        PatternSet::up_to_order(&a, 1).unwrap()
+    }
+
+    #[test]
+    fn one_step_is_one_spmm() {
+        let ps = cycle_patterns();
+        let x = DenseMatrix::from_fn(4, 2, |r, _| r as f32);
+        let pf = PropagatedFeatures::compute(&ps, &x, 1);
+        assert_eq!(pf.k_steps(), 1);
+        assert_eq!(pf.n_patterns(), 2);
+        // Operator 0 is row-normalised A: node v takes its out-neighbour's
+        // features; on a cycle X^(1)[v] = X[v+1 mod 4].
+        let fwd = pf.step(1, 0);
+        assert_eq!(fwd.get(0, 0), 1.0);
+        assert_eq!(fwd.get(3, 0), 0.0);
+        // Operator 1 is Aᵀ: node v takes its in-neighbour's features.
+        let rev = pf.step(1, 1);
+        assert_eq!(rev.get(0, 0), 3.0);
+        assert_eq!(rev.get(1, 0), 0.0);
+    }
+
+    #[test]
+    fn k_steps_compose() {
+        let ps = cycle_patterns();
+        let x = DenseMatrix::from_fn(4, 1, |r, _| r as f32);
+        let pf = PropagatedFeatures::compute(&ps, &x, 4);
+        // Four steps around a 4-cycle returns to the start.
+        for v in 0..4 {
+            assert_eq!(pf.step(4, 0).get(v, 0), x.get(v, 0));
+        }
+        // Two steps forward = X[v+2 mod 4].
+        assert_eq!(pf.step(2, 0).get(0, 0), 2.0);
+    }
+
+    #[test]
+    fn constant_features_are_preserved_by_row_normalised_operators() {
+        let a = CsrMatrix::from_edges(
+            5,
+            5,
+            vec![(0, 1), (0, 2), (1, 3), (2, 4), (3, 0), (4, 1), (1, 2)],
+        )
+        .unwrap();
+        let ps = PatternSet::up_to_order(&a, 2).unwrap();
+        let x = DenseMatrix::ones(5, 3);
+        let pf = PropagatedFeatures::compute(&ps, &x, 3);
+        for l in 1..=3 {
+            for g in 0..ps.len() {
+                for v in 0..5 {
+                    let val = pf.step(l, g).get(v, 0);
+                    assert!(
+                        val == 0.0 || (val - 1.0).abs() < 1e-5,
+                        "row-normalised propagation of constants must stay 0/1, got {val}"
+                    );
+                }
+            }
+        }
+    }
+
+    #[test]
+    fn residual_is_original_features() {
+        let ps = cycle_patterns();
+        let x = DenseMatrix::from_fn(4, 2, |r, c| (r + c) as f32);
+        let pf = PropagatedFeatures::compute(&ps, &x, 2);
+        assert_eq!(pf.x0(), &x);
+        let with_res = pf.step_with_residual(1);
+        assert_eq!(with_res.len(), 3);
+        assert_eq!(with_res[0], &x);
+    }
+
+    #[test]
+    fn n_floats_accounts_for_everything() {
+        let ps = cycle_patterns();
+        let x = DenseMatrix::zeros(4, 3);
+        let pf = PropagatedFeatures::compute(&ps, &x, 2);
+        // (1 residual + 2 ops × 2 steps) × 12 floats
+        assert_eq!(pf.n_floats(), 5 * 12);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one step")]
+    fn zero_steps_panics() {
+        let ps = cycle_patterns();
+        let x = DenseMatrix::zeros(4, 1);
+        let _ = PropagatedFeatures::compute(&ps, &x, 0);
+    }
+}

@@ -1,0 +1,179 @@
+//! Dataset persistence: a self-contained text format for a full benchmark
+//! bundle (graph + labels + features + split), so generated replicas can
+//! be exported, inspected, or re-imported without re-running the DSBM.
+//!
+//! ```text
+//! amud-dataset v1
+//! name <identifier>
+//! nodes <n> classes <c> features <f>
+//! label <node> <class>
+//! edge <src> <dst>
+//! split <train|val|test> <id> <id> ...
+//! feature <node> <v0> <v1> ...
+//! ```
+
+use crate::registry::{spec, Dataset};
+use crate::splits::Split;
+use amud_graph::{DiGraph, GraphError};
+use amud_nn::DenseMatrix;
+use std::fmt::Write as _;
+
+/// Serialises a dataset to the text format. The spec is referenced by name
+/// and re-attached on load (specs are compiled in).
+pub fn dataset_to_text(d: &Dataset) -> String {
+    let mut out = String::new();
+    let _ = writeln!(out, "amud-dataset v1");
+    let _ = writeln!(out, "name {}", d.name());
+    let _ = writeln!(
+        out,
+        "nodes {} classes {} features {}",
+        d.n_nodes(),
+        d.n_classes(),
+        d.features.cols()
+    );
+    for (v, &y) in d.labels().iter().enumerate() {
+        let _ = writeln!(out, "label {v} {y}");
+    }
+    for (u, v) in d.graph.edges() {
+        let _ = writeln!(out, "edge {u} {v}");
+    }
+    for (tag, ids) in
+        [("train", &d.split.train), ("val", &d.split.val), ("test", &d.split.test)]
+    {
+        let _ = write!(out, "split {tag}");
+        for id in ids {
+            let _ = write!(out, " {id}");
+        }
+        let _ = writeln!(out);
+    }
+    for v in 0..d.n_nodes() {
+        let _ = write!(out, "feature {v}");
+        for x in d.features.row(v) {
+            let _ = write!(out, " {x}");
+        }
+        let _ = writeln!(out);
+    }
+    out
+}
+
+/// Parses the text format back into a [`Dataset`].
+pub fn dataset_from_text(text: &str) -> Result<Dataset, GraphError> {
+    let mut lines = text.lines();
+    if lines.next().map(str::trim) != Some("amud-dataset v1") {
+        return Err(GraphError::EmptyGraph);
+    }
+    let mut name = String::new();
+    let mut n = 0usize;
+    let mut c = 0usize;
+    let mut f = 0usize;
+    let mut labels: Vec<usize> = Vec::new();
+    let mut edges: Vec<(usize, usize)> = Vec::new();
+    let mut split = Split { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    let mut feature_rows: Vec<(usize, Vec<f32>)> = Vec::new();
+
+    for line in lines {
+        let line = line.trim();
+        if line.is_empty() || line.starts_with('#') {
+            continue;
+        }
+        let mut parts = line.split_whitespace();
+        match parts.next() {
+            Some("name") => name = parts.next().unwrap_or_default().to_string(),
+            Some("nodes") => {
+                n = parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
+                let _ = parts.next(); // "classes"
+                c = parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
+                let _ = parts.next(); // "features"
+                f = parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
+                labels = vec![0usize; n];
+            }
+            Some("label") => {
+                let v: usize =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
+                let y: usize =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
+                if v >= n {
+                    return Err(GraphError::NodeOutOfBounds { node: v, n });
+                }
+                labels[v] = y;
+            }
+            Some("edge") => {
+                let u: usize =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
+                let v: usize =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
+                edges.push((u, v));
+            }
+            Some("split") => {
+                let which = parts.next().ok_or(GraphError::EmptyGraph)?;
+                let ids: Vec<usize> = parts.filter_map(|s| s.parse().ok()).collect();
+                match which {
+                    "train" => split.train = ids,
+                    "val" => split.val = ids,
+                    "test" => split.test = ids,
+                    _ => return Err(GraphError::EmptyGraph),
+                }
+            }
+            Some("feature") => {
+                let v: usize =
+                    parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
+                let row: Vec<f32> = parts.filter_map(|s| s.parse().ok()).collect();
+                if row.len() != f {
+                    return Err(GraphError::DimensionMismatch {
+                        expected: (1, f),
+                        got: (1, row.len()),
+                    });
+                }
+                feature_rows.push((v, row));
+            }
+            _ => return Err(GraphError::EmptyGraph),
+        }
+    }
+
+    let graph = DiGraph::from_edges(n, edges)?.with_labels(labels, c)?;
+    let mut features = DenseMatrix::zeros(n, f);
+    for (v, row) in feature_rows {
+        if v >= n {
+            return Err(GraphError::NodeOutOfBounds { node: v, n });
+        }
+        features.row_mut(v).copy_from_slice(&row);
+    }
+    Ok(Dataset { spec: spec(&name), graph, features, split })
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{replica, ReplicaScale};
+
+    #[test]
+    fn roundtrip_preserves_everything() {
+        let d = replica("texas", ReplicaScale::tiny(), 5);
+        let text = dataset_to_text(&d);
+        let back = dataset_from_text(&text).unwrap();
+        assert_eq!(back.name(), d.name());
+        assert_eq!(back.n_nodes(), d.n_nodes());
+        assert_eq!(
+            back.graph.edges().collect::<Vec<_>>(),
+            d.graph.edges().collect::<Vec<_>>()
+        );
+        assert_eq!(back.labels(), d.labels());
+        assert_eq!(back.split, d.split);
+        // f32 text roundtrip is exact with Rust's shortest-representation
+        // formatting.
+        assert_eq!(back.features, d.features);
+    }
+
+    #[test]
+    fn version_line_is_mandatory() {
+        assert!(dataset_from_text("name texas\n").is_err());
+    }
+
+    #[test]
+    fn feature_width_is_validated() {
+        let d = replica("texas", ReplicaScale::tiny(), 6);
+        let mut text = dataset_to_text(&d);
+        text.push_str("feature 0 1.0\n"); // wrong width
+        assert!(dataset_from_text(&text).is_err());
+    }
+}

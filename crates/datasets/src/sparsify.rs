@@ -1,0 +1,126 @@
+//! Sparsity stressors for the Fig. 7 robustness experiments.
+//!
+//! The paper evaluates three practical sparsity regimes on digraphs:
+//!
+//! * **feature sparsity** — a fraction of *unlabeled* nodes lose their
+//!   features entirely (industrial graphs where profiles are incomplete);
+//! * **edge sparsity** — a fraction of directed edges is removed uniformly;
+//! * **label sparsity** — only `k` labelled samples per class remain
+//!   (implemented in [`crate::splits::Split::with_labels_per_class`]).
+
+use crate::registry::Dataset;
+use rand::seq::SliceRandom;
+use rand::Rng;
+use rand::SeedableRng;
+
+/// Zeroes the feature rows of a `fraction` of nodes outside the training
+/// set (train-node profiles are assumed curated, matching the paper's
+/// setting of "feature representation of unlabeled nodes partially
+/// missing").
+pub fn mask_features(dataset: &Dataset, fraction: f64, seed: u64) -> Dataset {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let train: std::collections::HashSet<usize> = dataset.split.train.iter().copied().collect();
+    let mut candidates: Vec<usize> =
+        (0..dataset.n_nodes()).filter(|v| !train.contains(v)).collect();
+    candidates.shuffle(&mut rng);
+    let k = (candidates.len() as f64 * fraction).round() as usize;
+    let mut out = dataset.clone();
+    for &v in &candidates[..k] {
+        out.features.row_mut(v).fill(0.0);
+    }
+    out
+}
+
+/// Removes each directed edge independently with probability `fraction`.
+pub fn drop_edges(dataset: &Dataset, fraction: f64, seed: u64) -> Dataset {
+    assert!((0.0..=1.0).contains(&fraction), "fraction must be in [0,1]");
+    let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
+    let mut out = dataset.clone();
+    out.graph = dataset.graph.filter_edges(|_, _| rng.gen::<f64>() >= fraction);
+    out
+}
+
+/// Restricts the training set to `k` labelled nodes per class.
+pub fn limit_labels(dataset: &Dataset, per_class: usize) -> Dataset {
+    let mut out = dataset.clone();
+    out.split =
+        dataset.split.with_labels_per_class(dataset.labels(), dataset.n_classes(), per_class);
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::{replica, ReplicaScale};
+
+    fn base() -> Dataset {
+        replica("citeseer", ReplicaScale::tiny(), 0)
+    }
+
+    #[test]
+    fn mask_features_spares_training_nodes() {
+        let d = base();
+        let masked = mask_features(&d, 1.0, 1);
+        for &v in &d.split.train {
+            assert_eq!(masked.features.row(v), d.features.row(v), "train node {v} changed");
+        }
+        // Every non-train node is zeroed at fraction 1.
+        let train: std::collections::HashSet<usize> = d.split.train.iter().copied().collect();
+        for v in 0..d.n_nodes() {
+            if !train.contains(&v) {
+                assert!(masked.features.row(v).iter().all(|&x| x == 0.0));
+            }
+        }
+    }
+
+    #[test]
+    fn mask_features_fraction_is_respected() {
+        let d = base();
+        let masked = mask_features(&d, 0.5, 2);
+        let train: std::collections::HashSet<usize> = d.split.train.iter().copied().collect();
+        // Count rows that actually changed (sparse BoW rows can be all-zero
+        // to begin with, which must not count as masked).
+        let non_train: Vec<usize> = (0..d.n_nodes()).filter(|v| !train.contains(v)).collect();
+        let changed = non_train
+            .iter()
+            .filter(|&&v| {
+                masked.features.row(v) != d.features.row(v)
+                    && masked.features.row(v).iter().all(|&x| x == 0.0)
+            })
+            .count();
+        let nonzero_before = non_train
+            .iter()
+            .filter(|&&v| d.features.row(v).iter().any(|&x| x != 0.0))
+            .count();
+        let frac = changed as f64 / nonzero_before as f64;
+        assert!((frac - 0.5).abs() < 0.1, "masked fraction {frac}");
+    }
+
+    #[test]
+    fn drop_edges_thins_the_graph() {
+        let d = base();
+        let thinned = drop_edges(&d, 0.4, 3);
+        let kept = thinned.graph.n_edges() as f64 / d.graph.n_edges() as f64;
+        assert!((kept - 0.6).abs() < 0.08, "kept fraction {kept}");
+        // Labels and features untouched.
+        assert_eq!(thinned.features, d.features);
+        assert_eq!(thinned.labels(), d.labels());
+    }
+
+    #[test]
+    fn drop_edges_zero_is_identity() {
+        let d = base();
+        let same = drop_edges(&d, 0.0, 4);
+        assert_eq!(same.graph.n_edges(), d.graph.n_edges());
+    }
+
+    #[test]
+    fn limit_labels_shrinks_train() {
+        let d = base();
+        let limited = limit_labels(&d, 2);
+        assert!(limited.split.train.len() <= 2 * d.n_classes());
+        assert_eq!(limited.split.val, d.split.val);
+        assert_eq!(limited.split.test, d.split.test);
+    }
+}

@@ -1,0 +1,221 @@
+//! Train/validation/test splits following the paper's protocols (Table II).
+//!
+//! Two protocols appear in the paper:
+//!
+//! * **count-based** — e.g. CoraML's `140/500/2355`: a fixed number of
+//!   training nodes (balanced per class where divisible), a fixed validation
+//!   pool, the rest (or a fixed count) for testing;
+//! * **fraction-based** — e.g. WebKB's `48%/32%/20%`.
+
+use rand::seq::SliceRandom;
+use rand::Rng;
+
+/// Node index sets for semi-supervised training.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Split {
+    pub train: Vec<usize>,
+    pub val: Vec<usize>,
+    pub test: Vec<usize>,
+}
+
+/// How to carve a dataset into train/val/test.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum SplitSpec {
+    /// Fixed node counts. Training nodes are drawn class-balanced
+    /// (`train / n_classes` per class, rounded down, topped up arbitrarily).
+    Counts { train: usize, val: usize, test: usize },
+    /// Fractions of all nodes (must sum to ≤ 1).
+    Fractions { train: f64, val: f64, test: f64 },
+}
+
+impl Split {
+    /// Materialises a split over `n` nodes with the given labels.
+    ///
+    /// # Panics
+    /// Panics if the spec asks for more nodes than exist.
+    pub fn generate<R: Rng>(
+        spec: SplitSpec,
+        labels: &[usize],
+        n_classes: usize,
+        rng: &mut R,
+    ) -> Split {
+        let n = labels.len();
+        match spec {
+            SplitSpec::Counts { train, val, test } => {
+                assert!(train + val + test <= n, "split counts exceed node count");
+                // Class-balanced training selection.
+                let per_class = train / n_classes.max(1);
+                let mut by_class: Vec<Vec<usize>> = vec![Vec::new(); n_classes];
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(rng);
+                for &v in &order {
+                    by_class[labels[v]].push(v);
+                }
+                let mut train_set = Vec::with_capacity(train);
+                for class_nodes in &by_class {
+                    train_set.extend(class_nodes.iter().take(per_class));
+                }
+                // Top up from the shuffled order if rounding left a deficit.
+                let chosen: std::collections::HashSet<usize> = train_set.iter().copied().collect();
+                for &v in &order {
+                    if train_set.len() >= train {
+                        break;
+                    }
+                    if !chosen.contains(&v) {
+                        train_set.push(v);
+                    }
+                }
+                let train_mask: std::collections::HashSet<usize> =
+                    train_set.iter().copied().collect();
+                let rest: Vec<usize> =
+                    order.iter().copied().filter(|v| !train_mask.contains(v)).collect();
+                let val_set = rest[..val].to_vec();
+                let test_set = rest[val..val + test].to_vec();
+                Split { train: train_set, val: val_set, test: test_set }
+            }
+            SplitSpec::Fractions { train, val, test } => {
+                assert!(
+                    train + val + test <= 1.0 + 1e-9,
+                    "split fractions must sum to at most 1"
+                );
+                let mut order: Vec<usize> = (0..n).collect();
+                order.shuffle(rng);
+                let n_train = (train * n as f64).round() as usize;
+                let n_val = (val * n as f64).round() as usize;
+                let n_test = ((test * n as f64).round() as usize).min(n - n_train - n_val);
+                Split {
+                    train: order[..n_train].to_vec(),
+                    val: order[n_train..n_train + n_val].to_vec(),
+                    test: order[n_train + n_val..n_train + n_val + n_test].to_vec(),
+                }
+            }
+        }
+    }
+
+    /// Total number of assigned nodes.
+    pub fn len(&self) -> usize {
+        self.train.len() + self.val.len() + self.test.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+
+    /// Checks the three sets are pairwise disjoint (debug assertion helper).
+    pub fn is_disjoint(&self) -> bool {
+        let mut seen = std::collections::HashSet::new();
+        self.train
+            .iter()
+            .chain(&self.val)
+            .chain(&self.test)
+            .all(|&v| seen.insert(v))
+    }
+
+    /// Restricts training labels to the first `k` nodes of each class —
+    /// the Fig. 7 label-sparsity stressor.
+    pub fn with_labels_per_class(&self, labels: &[usize], n_classes: usize, k: usize) -> Split {
+        let mut taken = vec![0usize; n_classes];
+        let train = self
+            .train
+            .iter()
+            .copied()
+            .filter(|&v| {
+                if taken[labels[v]] < k {
+                    taken[labels[v]] += 1;
+                    true
+                } else {
+                    false
+                }
+            })
+            .collect();
+        Split { train, val: self.val.clone(), test: self.test.clone() }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn labels(n: usize, c: usize) -> Vec<usize> {
+        (0..n).map(|v| v % c).collect()
+    }
+
+    #[test]
+    fn counts_split_sizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let labels = labels(1000, 5);
+        let s = Split::generate(
+            SplitSpec::Counts { train: 100, val: 200, test: 600 },
+            &labels,
+            5,
+            &mut rng,
+        );
+        assert_eq!(s.train.len(), 100);
+        assert_eq!(s.val.len(), 200);
+        assert_eq!(s.test.len(), 600);
+        assert!(s.is_disjoint());
+    }
+
+    #[test]
+    fn counts_split_is_class_balanced() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let labels = labels(500, 5);
+        let s = Split::generate(
+            SplitSpec::Counts { train: 50, val: 100, test: 300 },
+            &labels,
+            5,
+            &mut rng,
+        );
+        let mut per_class = vec![0usize; 5];
+        for &v in &s.train {
+            per_class[labels[v]] += 1;
+        }
+        assert!(per_class.iter().all(|&c| c == 10), "{per_class:?}");
+    }
+
+    #[test]
+    fn fractions_split_sizes() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        let labels = labels(250, 5);
+        let s = Split::generate(
+            SplitSpec::Fractions { train: 0.48, val: 0.32, test: 0.20 },
+            &labels,
+            5,
+            &mut rng,
+        );
+        assert_eq!(s.train.len(), 120);
+        assert_eq!(s.val.len(), 80);
+        assert_eq!(s.test.len(), 50);
+        assert!(s.is_disjoint());
+    }
+
+    #[test]
+    fn label_sparsity_reduces_train_only() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let labels = labels(300, 3);
+        let s = Split::generate(
+            SplitSpec::Fractions { train: 0.5, val: 0.25, test: 0.25 },
+            &labels,
+            3,
+            &mut rng,
+        );
+        let sparse = s.with_labels_per_class(&labels, 3, 5);
+        assert_eq!(sparse.train.len(), 15);
+        assert_eq!(sparse.val, s.val);
+        assert_eq!(sparse.test, s.test);
+    }
+
+    #[test]
+    #[should_panic(expected = "exceed node count")]
+    fn oversized_counts_panic() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(4);
+        let labels = labels(10, 2);
+        let _ = Split::generate(
+            SplitSpec::Counts { train: 8, val: 8, test: 8 },
+            &labels,
+            2,
+            &mut rng,
+        );
+    }
+}

@@ -1,0 +1,112 @@
+//! Low-level random digraph generators.
+//!
+//! These are building blocks for the synthetic dataset replicas in
+//! `amud-datasets`; they only know about topology, not labels or features.
+
+use crate::DiGraph;
+use rand::Rng;
+use std::collections::HashSet;
+
+/// Erdős–Rényi digraph G(n, p): each ordered pair (u, v), u ≠ v, is an edge
+/// independently with probability `p`.
+pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> DiGraph {
+    assert!((0.0..=1.0).contains(&p), "p must be a probability, got {p}");
+    let mut edges = Vec::new();
+    // Geometric skipping keeps this O(m) instead of O(n²) for sparse p.
+    if p > 0.0 {
+        let total = (n * n) as u64;
+        let mut idx: u64 = 0;
+        loop {
+            // Sample the gap to the next edge from a geometric distribution.
+            let u: f64 = rng.gen_range(f64::MIN_POSITIVE..1.0);
+            let skip = (u.ln() / (1.0 - p).ln()).floor() as u64;
+            idx = idx.saturating_add(skip);
+            if idx >= total {
+                break;
+            }
+            let (src, dst) = ((idx / n as u64) as usize, (idx % n as u64) as usize);
+            if src != dst {
+                edges.push((src, dst));
+            }
+            idx += 1;
+            if idx >= total {
+                break;
+            }
+        }
+    }
+    DiGraph::from_edges(n, edges).expect("generated edges are in bounds")
+}
+
+/// Exact-size random digraph G(n, m): `m` distinct directed edges sampled
+/// uniformly without replacement (self-loops excluded).
+pub fn gnm_random<R: Rng>(n: usize, m: usize, rng: &mut R) -> DiGraph {
+    let max_edges = n.saturating_mul(n.saturating_sub(1));
+    assert!(m <= max_edges, "requested {m} edges but only {max_edges} possible");
+    let mut chosen: HashSet<(usize, usize)> = HashSet::with_capacity(m);
+    while chosen.len() < m {
+        let u = rng.gen_range(0..n);
+        let v = rng.gen_range(0..n);
+        if u != v {
+            chosen.insert((u, v));
+        }
+    }
+    DiGraph::from_edges(n, chosen).expect("generated edges are in bounds")
+}
+
+/// A directed cycle 0 → 1 → … → n-1 → 0. Deterministic; handy in tests.
+pub fn directed_cycle(n: usize) -> DiGraph {
+    DiGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
+        .expect("cycle edges are in bounds")
+}
+
+/// A star with `n - 1` leaves, all edges pointing away from the hub (node 0).
+pub fn out_star(n: usize) -> DiGraph {
+    DiGraph::from_edges(n, (1..n).map(|i| (0, i))).expect("star edges are in bounds")
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    #[test]
+    fn erdos_renyi_density_close_to_p() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(1);
+        let n = 300;
+        let p = 0.05;
+        let g = erdos_renyi(n, p, &mut rng);
+        let density = g.n_edges() as f64 / (n * (n - 1)) as f64;
+        assert!((density - p).abs() < 0.01, "density {density} vs p {p}");
+    }
+
+    #[test]
+    fn erdos_renyi_p_zero_and_one() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(2);
+        assert_eq!(erdos_renyi(50, 0.0, &mut rng).n_edges(), 0);
+        let full = erdos_renyi(20, 1.0 - 1e-12, &mut rng);
+        assert!(full.n_edges() >= 20 * 19 - 20, "p→1 should be nearly complete");
+    }
+
+    #[test]
+    fn gnm_exact_edge_count() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let g = gnm_random(100, 500, &mut rng);
+        assert_eq!(g.n_edges(), 500);
+    }
+
+    #[test]
+    fn cycle_shape() {
+        let g = directed_cycle(5);
+        assert_eq!(g.n_edges(), 5);
+        assert_eq!(g.out_degrees(), vec![1; 5]);
+        assert_eq!(g.in_degrees(), vec![1; 5]);
+        assert_eq!(g.reciprocity(), 0.0);
+    }
+
+    #[test]
+    fn star_shape() {
+        let g = out_star(6);
+        assert_eq!(g.out_degrees()[0], 5);
+        assert_eq!(g.in_degrees()[0], 0);
+    }
+}

@@ -1,0 +1,307 @@
+//! Homophily measures (Sec. II-B, Table I).
+//!
+//! Five measures from the literature, each evaluated on an arbitrary
+//! adjacency matrix so the *directed* and *undirected* variants of a graph
+//! can be compared directly, as Table I of the paper does:
+//!
+//! * [`node_homophily`] — H_node (Pei et al., Geom-GCN),
+//! * [`edge_homophily`] — H_edge (Zhu et al., H₂GCN),
+//! * [`class_homophily`] — H_class (Lim et al., LINKX),
+//! * [`adjusted_homophily`] — H_adj (Platonov et al.),
+//! * [`label_informativeness`] — LI (Platonov et al.).
+//!
+//! All functions take the adjacency matrix rather than a [`crate::DiGraph`]
+//! so that directed-pattern operators (2-hop matrices etc.) can be measured
+//! with the same code.
+
+use crate::csr::CsrMatrix;
+use crate::DiGraph;
+
+/// All five measures bundled, as reported per dataset row in Table I.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HomophilyReport {
+    pub node: f64,
+    pub edge: f64,
+    pub class: f64,
+    pub adjusted: f64,
+    pub label_informativeness: f64,
+}
+
+/// Computes all five measures for a labelled graph view.
+///
+/// # Panics
+/// Panics if the graph carries no labels.
+pub fn homophily_report(g: &DiGraph) -> HomophilyReport {
+    let labels = g.labels().expect("homophily requires labels");
+    let a = g.adjacency();
+    let c = g.n_classes();
+    HomophilyReport {
+        node: node_homophily(a, labels),
+        edge: edge_homophily(a, labels),
+        class: class_homophily(a, labels, c),
+        adjusted: adjusted_homophily(a, labels, c),
+        label_informativeness: label_informativeness(a, labels, c),
+    }
+}
+
+/// H_node: the mean over nodes (with at least one neighbour) of the fraction
+/// of neighbours sharing the node's label. For a directed adjacency matrix
+/// the "neighbours" of `u` are its out-neighbours (row `u`).
+pub fn node_homophily(adj: &CsrMatrix, labels: &[usize]) -> f64 {
+    let mut total = 0.0f64;
+    let mut counted = 0usize;
+    for u in 0..adj.n_rows() {
+        let cols = adj.row_cols(u);
+        if cols.is_empty() {
+            continue;
+        }
+        let same = cols.iter().filter(|&&v| labels[v as usize] == labels[u]).count();
+        total += same as f64 / cols.len() as f64;
+        counted += 1;
+    }
+    if counted == 0 {
+        0.0
+    } else {
+        total / counted as f64
+    }
+}
+
+/// H_edge: the fraction of edges whose endpoints share a label.
+pub fn edge_homophily(adj: &CsrMatrix, labels: &[usize]) -> f64 {
+    let m = adj.nnz();
+    if m == 0 {
+        return 0.0;
+    }
+    let same = adj.iter().filter(|&(u, v, _)| labels[u] == labels[v]).count();
+    same as f64 / m as f64
+}
+
+/// H_class (LINKX): class-wise excess homophily,
+/// `1/(C−1) · Σ_k max(0, h_k − n_k/n)` where `h_k` is the fraction of
+/// same-class neighbours among all edges leaving class-k nodes.
+pub fn class_homophily(adj: &CsrMatrix, labels: &[usize], n_classes: usize) -> f64 {
+    if n_classes < 2 {
+        return 0.0;
+    }
+    let n = labels.len();
+    let mut class_edges = vec![0usize; n_classes];
+    let mut class_same = vec![0usize; n_classes];
+    let mut class_size = vec![0usize; n_classes];
+    for &y in labels {
+        class_size[y] += 1;
+    }
+    for (u, v, _) in adj.iter() {
+        class_edges[labels[u]] += 1;
+        if labels[u] == labels[v] {
+            class_same[labels[u]] += 1;
+        }
+    }
+    let mut acc = 0.0f64;
+    for k in 0..n_classes {
+        if class_edges[k] == 0 {
+            continue;
+        }
+        let h_k = class_same[k] as f64 / class_edges[k] as f64;
+        let base = class_size[k] as f64 / n as f64;
+        acc += (h_k - base).max(0.0);
+    }
+    acc / (n_classes as f64 - 1.0)
+}
+
+/// Degree-weighted class probabilities `p̄(k) = D_k / Σ D`, where `D_k` sums
+/// the (out+in) degrees of class-k nodes. This is the null model both
+/// adjusted homophily and LI are measured against.
+fn degree_weighted_class_probs(adj: &CsrMatrix, labels: &[usize], n_classes: usize) -> Vec<f64> {
+    let mut d = vec![0.0f64; n_classes];
+    for (u, v, _) in adj.iter() {
+        d[labels[u]] += 1.0;
+        d[labels[v]] += 1.0;
+    }
+    let total: f64 = d.iter().sum();
+    if total > 0.0 {
+        for x in &mut d {
+            *x /= total;
+        }
+    }
+    d
+}
+
+/// H_adj (Platonov et al.): edge homophily recentred against the
+/// degree-weighted null model,
+/// `(H_edge − Σ_k p̄(k)²) / (1 − Σ_k p̄(k)²)`.
+/// Unlike the raw measures it can be negative (true heterophily) and is 0 in
+/// expectation for label-independent wiring.
+pub fn adjusted_homophily(adj: &CsrMatrix, labels: &[usize], n_classes: usize) -> f64 {
+    let h_edge = edge_homophily(adj, labels);
+    let p = degree_weighted_class_probs(adj, labels, n_classes);
+    let p2: f64 = p.iter().map(|x| x * x).sum();
+    if (1.0 - p2).abs() < 1e-12 {
+        return 0.0;
+    }
+    (h_edge - p2) / (1.0 - p2)
+}
+
+/// LI — edge label informativeness (Platonov et al.):
+/// `I(ξ; η) / H(ξ)` where `(ξ, η)` are the endpoint labels of a uniformly
+/// random edge and the marginals are the degree-weighted class
+/// probabilities. 1 means an edge's far endpoint fully determines the label;
+/// 0 means edges carry no label information.
+pub fn label_informativeness(adj: &CsrMatrix, labels: &[usize], n_classes: usize) -> f64 {
+    let m = adj.nnz();
+    if m == 0 || n_classes < 2 {
+        return 0.0;
+    }
+    // Joint distribution over ordered endpoint label pairs; symmetrised so
+    // undirected graphs stored as symmetric matrices and directed graphs are
+    // treated consistently (each edge contributes both orientations).
+    let mut joint = vec![0.0f64; n_classes * n_classes];
+    for (u, v, _) in adj.iter() {
+        joint[labels[u] * n_classes + labels[v]] += 0.5;
+        joint[labels[v] * n_classes + labels[u]] += 0.5;
+    }
+    let total: f64 = joint.iter().sum();
+    for x in &mut joint {
+        *x /= total;
+    }
+    let p = degree_weighted_class_probs(adj, labels, n_classes);
+    let mut mutual = 0.0f64;
+    for c1 in 0..n_classes {
+        for c2 in 0..n_classes {
+            let j = joint[c1 * n_classes + c2];
+            if j > 0.0 && p[c1] > 0.0 && p[c2] > 0.0 {
+                mutual += j * (j / (p[c1] * p[c2])).ln();
+            }
+        }
+    }
+    let entropy: f64 = -p.iter().filter(|&&x| x > 0.0).map(|&x| x * x.ln()).sum::<f64>();
+    if entropy < 1e-12 {
+        return 0.0;
+    }
+    mutual / entropy
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::DiGraph;
+
+    /// Two triangles of uniform class, bridged by one cross edge: strongly
+    /// homophilous.
+    fn homophilous() -> DiGraph {
+        DiGraph::from_edges(
+            6,
+            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)],
+        )
+        .unwrap()
+        .with_labels(vec![0, 0, 0, 1, 1, 1], 2)
+        .unwrap()
+    }
+
+    /// Perfect bipartite-style heterophily: every edge crosses classes.
+    fn heterophilous() -> DiGraph {
+        DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3), (3, 0)])
+            .unwrap()
+            .with_labels(vec![0, 1, 0, 1], 2)
+            .unwrap()
+    }
+
+    #[test]
+    fn edge_homophily_bounds() {
+        let h = homophily_report(&homophilous());
+        assert!((h.edge - 6.0 / 7.0).abs() < 1e-12);
+        let het = homophily_report(&heterophilous());
+        assert_eq!(het.edge, 0.0);
+    }
+
+    #[test]
+    fn node_homophily_out_neighbour_fractions() {
+        let g = homophilous();
+        // nodes 1..5 have all-same-class out-neighbours; node 0 has 1/2.
+        let expected = (5.0 + 0.5) / 6.0;
+        assert!((node_homophily(g.adjacency(), g.labels().unwrap()) - expected).abs() < 1e-12);
+    }
+
+    #[test]
+    fn adjusted_homophily_negative_for_heterophily() {
+        let het = homophily_report(&heterophilous());
+        assert!(het.adjusted < 0.0, "H_adj = {}", het.adjusted);
+        let hom = homophily_report(&homophilous());
+        assert!(hom.adjusted > 0.5, "H_adj = {}", hom.adjusted);
+    }
+
+    #[test]
+    fn adjusted_homophily_near_zero_for_random_labels() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(7);
+        let n = 400;
+        let edges: Vec<(usize, usize)> = (0..4000)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .filter(|(u, v)| u != v)
+            .collect();
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..4)).collect();
+        let g = DiGraph::from_edges(n, edges).unwrap().with_labels(labels, 4).unwrap();
+        let h = adjusted_homophily(g.adjacency(), g.labels().unwrap(), 4);
+        assert!(h.abs() < 0.05, "random labels should give ~0 adjusted homophily, got {h}");
+    }
+
+    #[test]
+    fn label_informativeness_high_for_deterministic_wiring() {
+        // Perfect heterophilous cycle: the neighbour's label determines the
+        // node's label exactly, so LI should be 1 even though H_edge = 0.
+        let het = heterophilous();
+        let li = label_informativeness(het.adjacency(), het.labels().unwrap(), 2);
+        assert!((li - 1.0).abs() < 1e-9, "LI = {li}");
+    }
+
+    #[test]
+    fn label_informativeness_low_for_random_wiring() {
+        use rand::{Rng, SeedableRng};
+        let mut rng = rand::rngs::StdRng::seed_from_u64(3);
+        let n = 500;
+        let edges: Vec<(usize, usize)> = (0..6000)
+            .map(|_| (rng.gen_range(0..n), rng.gen_range(0..n)))
+            .filter(|(u, v)| u != v)
+            .collect();
+        let labels: Vec<usize> = (0..n).map(|_| rng.gen_range(0..3)).collect();
+        let g = DiGraph::from_edges(n, edges).unwrap().with_labels(labels, 3).unwrap();
+        let li = label_informativeness(g.adjacency(), g.labels().unwrap(), 3);
+        assert!(li < 0.05, "LI for random wiring should be near 0, got {li}");
+    }
+
+    #[test]
+    fn class_homophily_zero_when_no_excess() {
+        let het = heterophilous();
+        assert_eq!(class_homophily(het.adjacency(), het.labels().unwrap(), 2), 0.0);
+    }
+
+    #[test]
+    fn directed_vs_undirected_views_differ() {
+        // A graph where direction matters: class-0 nodes point at class-1
+        // nodes only. Out-neighbour node homophily is 0 directed, but the
+        // undirected view mixes in reciprocal edges.
+        let g = DiGraph::from_edges(4, vec![(0, 2), (0, 3), (1, 2), (1, 3), (2, 0)])
+            .unwrap()
+            .with_labels(vec![0, 0, 1, 1], 2)
+            .unwrap();
+        let d = homophily_report(&g);
+        let u = homophily_report(&g.to_undirected());
+        assert_eq!(d.edge, 0.0);
+        assert_eq!(u.edge, 0.0);
+        assert_eq!(d.node, 0.0);
+        assert_eq!(u.node, 0.0);
+        // but the matrices are genuinely different sizes
+        assert!(g.to_undirected().n_edges() > g.n_edges());
+    }
+
+    #[test]
+    fn empty_graph_measures_are_zero() {
+        let g = DiGraph::from_edges(3, Vec::<(usize, usize)>::new())
+            .unwrap()
+            .with_labels(vec![0, 1, 0], 2)
+            .unwrap();
+        let h = homophily_report(&g);
+        assert_eq!(h.edge, 0.0);
+        assert_eq!(h.node, 0.0);
+        assert_eq!(h.label_informativeness, 0.0);
+    }
+}

@@ -1,0 +1,105 @@
+//! AERO-GNN (Lee et al., ICML 2023) — deep attention propagation.
+//!
+//! **Simplification** (documented in DESIGN.md): the original attends over
+//! edges at every hop; here the defining mechanism — per-node, per-hop
+//! attention that keeps deep propagation from collapsing — is kept, with
+//! hop representations `H^{(k)} = Â H^{(k-1)}` combined by a learned
+//! per-node softmax over hops (the same mechanism the original's
+//! hop-attention ablation isolates as the main contributor).
+
+use crate::common::gcn_operator;
+use amud_nn::{Activation, Linear, Mlp, NodeId, ParamBank, SparseOp, Tape};
+use amud_train::{GraphData, Model};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub struct AeroGnn {
+    bank: ParamBank,
+    op: SparseOp,
+    encoder: Mlp,
+    hop_scorer: Linear,
+    head: Linear,
+    k: usize,
+}
+
+impl AeroGnn {
+    pub fn new(data: &GraphData, hidden: usize, k: usize, dropout: f32, seed: u64) -> Self {
+        assert!(k >= 1);
+        let mut rng = StdRng::seed_from_u64(seed);
+        let mut bank = ParamBank::new();
+        let encoder = Mlp::new(
+            &mut bank,
+            &[data.n_features(), hidden],
+            Activation::Relu,
+            dropout,
+            &mut rng,
+        );
+        let hop_scorer = Linear::new(&mut bank, (k + 1) * hidden, k + 1, &mut rng);
+        let head = Linear::new(&mut bank, hidden, data.n_classes, &mut rng);
+        Self { bank, op: gcn_operator(&data.adj), encoder, hop_scorer, head, k }
+    }
+}
+
+impl Model for AeroGnn {
+    fn bank(&self) -> &ParamBank {
+        &self.bank
+    }
+    fn bank_mut(&mut self) -> &mut ParamBank {
+        &mut self.bank
+    }
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        data: &GraphData,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let x = tape.constant(data.features.clone());
+        let h0 = self.encoder.forward(tape, &self.bank, x, training, rng);
+        let mut hops = vec![h0];
+        for k in 1..=self.k {
+            let prev = hops[k - 1];
+            hops.push(tape.spmm(&self.op, prev));
+        }
+        let stacked = tape.concat_cols(&hops);
+        let e = self.hop_scorer.forward(tape, &self.bank, stacked);
+        let e = tape.leaky_relu(e, 0.2);
+        let w = tape.row_softmax(e);
+        let mut z: Option<NodeId> = None;
+        for (k, &h) in hops.iter().enumerate() {
+            let scaled = tape.col_scale(w, k, h);
+            z = Some(match z {
+                Some(acc) => tape.add(acc, scaled),
+                None => scaled,
+            });
+        }
+        self.head.forward(tape, &self.bank, z.expect("k ≥ 1"))
+    }
+    fn name(&self) -> &'static str {
+        "AERO-GNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::tests_support::{quick_train, tiny_data};
+
+    #[test]
+    fn aero_trains_on_homophilous_replica() {
+        let data = tiny_data("cora_ml", 11).to_undirected();
+        let mut model = AeroGnn::new(&data, 32, 3, 0.2, 11);
+        let acc = quick_train(&mut model, &data, 11);
+        assert!(acc > 0.4, "AERO-GNN accuracy {acc}");
+    }
+
+    #[test]
+    fn deep_propagation_does_not_nan() {
+        let data = tiny_data("citeseer", 12).to_undirected();
+        let model = AeroGnn::new(&data, 16, 8, 0.0, 12);
+        let mut tape = Tape::new();
+        let mut rng = StdRng::seed_from_u64(0);
+        let logits = model.forward(&mut tape, &data, false, &mut rng);
+        assert!(tape.value(logits).as_slice().iter().all(|v| v.is_finite()));
+    }
+}

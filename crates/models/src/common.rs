@@ -1,0 +1,208 @@
+//! Shared operator construction and polynomial bases.
+
+use amud_graph::CsrMatrix;
+use amud_nn::{DenseMatrix, SparseOp};
+
+/// GCN operator: `D̂^{-1/2} Â D̂^{-1/2}` with self-loops (Eq. 1, r = 1/2).
+pub fn gcn_operator(adj: &CsrMatrix) -> SparseOp {
+    SparseOp::new(adj.with_self_loops(1.0).sym_normalized())
+}
+
+/// Row-stochastic operator `D̂⁻¹ Â` with self-loops.
+pub fn row_stochastic(adj: &CsrMatrix) -> SparseOp {
+    SparseOp::new(adj.with_self_loops(1.0).row_normalized())
+}
+
+/// Out- and in-neighbour propagation operators (`D̂⁻¹Â`, `D̂⁻¹Âᵀ`, both with
+/// self-loops) — the directed message-passing pair of Eq. 2.
+pub fn in_out_operators(adj: &CsrMatrix) -> (SparseOp, SparseOp) {
+    let out = adj.with_self_loops(1.0).row_normalized();
+    let inn = adj.transpose().with_self_loops(1.0).row_normalized();
+    (SparseOp::new(out), SparseOp::new(inn))
+}
+
+/// `[X, ÂX, Â²X, …, Â^K X]` — dense K-hop propagation cache used by the
+/// decoupled spectral models.
+pub fn propagate_k(op: &SparseOp, x: &DenseMatrix, k: usize) -> Vec<DenseMatrix> {
+    let mut out = Vec::with_capacity(k + 1);
+    out.push(x.clone());
+    let f = x.cols();
+    for step in 0..k {
+        let mut next = DenseMatrix::zeros(x.rows(), f);
+        op.matrix().spmm(out[step].as_slice(), f, next.as_mut_slice());
+        out.push(next);
+    }
+    out
+}
+
+/// Applies the normalised Laplacian `L = I − Â_sym` to a dense matrix.
+fn apply_laplacian(op: &SparseOp, x: &DenseMatrix) -> DenseMatrix {
+    let mut ax = DenseMatrix::zeros(x.rows(), x.cols());
+    op.matrix().spmm(x.as_slice(), x.cols(), ax.as_mut_slice());
+    let mut out = x.clone();
+    out.add_scaled_assign(&ax, -1.0);
+    out
+}
+
+/// Applies `2I − L = I + Â_sym` to a dense matrix.
+fn apply_two_minus_laplacian(op: &SparseOp, x: &DenseMatrix) -> DenseMatrix {
+    let mut ax = DenseMatrix::zeros(x.rows(), x.cols());
+    op.matrix().spmm(x.as_slice(), x.cols(), ax.as_mut_slice());
+    let mut out = x.clone();
+    out.add_scaled_assign(&ax, 1.0);
+    out
+}
+
+/// Bernstein polynomial basis of degree `k_max` applied to `X`
+/// (BernNet): `B_v = C(K,v) / 2^K · (2I − L)^{K−v} L^v X`.
+///
+/// The symmetric-normalised adjacency operator must include self-loops
+/// (i.e. the output of [`gcn_operator`]), so `L`'s spectrum lies in [0, 2).
+pub fn bernstein_basis(op: &SparseOp, x: &DenseMatrix, k_max: usize) -> Vec<DenseMatrix> {
+    // l_pow[v] = L^v X
+    let mut l_pow = Vec::with_capacity(k_max + 1);
+    l_pow.push(x.clone());
+    for v in 0..k_max {
+        l_pow.push(apply_laplacian(op, &l_pow[v]));
+    }
+    let mut basis = Vec::with_capacity(k_max + 1);
+    for v in 0..=k_max {
+        let mut cur = l_pow[v].clone();
+        for _ in 0..(k_max - v) {
+            cur = apply_two_minus_laplacian(op, &cur);
+        }
+        let coeff = binomial(k_max, v) / 2f32.powi(k_max as i32);
+        basis.push(cur.scale(coeff));
+    }
+    basis
+}
+
+/// Jacobi polynomial basis `P_v^{(a,b)}(Â) X` for `v = 0..=k_max`
+/// (JacobiConv), via the three-term recurrence.
+pub fn jacobi_basis(
+    op: &SparseOp,
+    x: &DenseMatrix,
+    k_max: usize,
+    a: f32,
+    b: f32,
+) -> Vec<DenseMatrix> {
+    let apply = |m: &DenseMatrix| {
+        let mut out = DenseMatrix::zeros(m.rows(), m.cols());
+        op.matrix().spmm(m.as_slice(), m.cols(), out.as_mut_slice());
+        out
+    };
+    let mut basis: Vec<DenseMatrix> = Vec::with_capacity(k_max + 1);
+    basis.push(x.clone());
+    if k_max == 0 {
+        return basis;
+    }
+    // P_1 = (a−b)/2 + (a+b+2)/2 · Â
+    {
+        let ax = apply(x);
+        let mut p1 = x.scale((a - b) / 2.0);
+        p1.add_scaled_assign(&ax, (a + b + 2.0) / 2.0);
+        basis.push(p1);
+    }
+    for v in 2..=k_max {
+        let vf = v as f32;
+        let c = 2.0 * vf + a + b;
+        let theta0 = (c * (c - 1.0)) / (2.0 * vf * (vf + a + b));
+        let theta1 = ((c - 1.0) * (a * a - b * b)) / (2.0 * vf * (vf + a + b) * (c - 2.0));
+        let theta2 = (c * (vf + a - 1.0) * (vf + b - 1.0)) / (vf * (vf + a + b) * (c - 2.0));
+        let a_prev = apply(&basis[v - 1]);
+        let mut next = a_prev.scale(theta0);
+        next.add_scaled_assign(&basis[v - 1], theta1);
+        next.add_scaled_assign(&basis[v - 2], -theta2);
+        basis.push(next);
+    }
+    basis
+}
+
+fn binomial(n: usize, k: usize) -> f32 {
+    let mut acc = 1.0f64;
+    for i in 0..k {
+        acc = acc * (n - i) as f64 / (i + 1) as f64;
+    }
+    acc as f32
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn path_graph() -> CsrMatrix {
+        CsrMatrix::from_edges(4, 4, vec![(0, 1), (1, 2), (2, 3)]).unwrap()
+    }
+
+    #[test]
+    fn gcn_operator_is_symmetric_on_symmetric_input() {
+        let a = path_graph();
+        let sym = a.bool_union(&a.transpose()).unwrap();
+        let op = gcn_operator(&sym);
+        for (u, v, w) in op.matrix().iter() {
+            assert!((op.matrix().get(v, u) - w).abs() < 1e-6);
+        }
+    }
+
+    #[test]
+    fn in_out_operators_transpose_relationship() {
+        let a = path_graph();
+        let (out, inn) = in_out_operators(&a);
+        // Out operator of node 0 looks at node 1; in operator of node 0
+        // only sees itself (no in-edges).
+        assert!(out.matrix().get(0, 1) > 0.0);
+        assert_eq!(inn.matrix().get(0, 1), 0.0);
+        assert!(inn.matrix().get(1, 0) > 0.0);
+    }
+
+    #[test]
+    fn propagate_k_lengths_and_identity() {
+        let a = path_graph();
+        let sym = a.bool_union(&a.transpose()).unwrap();
+        let op = gcn_operator(&sym);
+        let x = DenseMatrix::ones(4, 2);
+        let hops = propagate_k(&op, &x, 3);
+        assert_eq!(hops.len(), 4);
+        assert_eq!(hops[0], x);
+    }
+
+    #[test]
+    fn bernstein_basis_partitions_unity_at_constant_features() {
+        // Σ_v B_v(λ) = 1 for any λ, so summing the basis applied to X must
+        // give X back.
+        let a = path_graph();
+        let sym = a.bool_union(&a.transpose()).unwrap();
+        let op = gcn_operator(&sym);
+        let x = DenseMatrix::from_fn(4, 2, |r, c| (r + c) as f32 * 0.5 - 0.3);
+        let basis = bernstein_basis(&op, &x, 4);
+        assert_eq!(basis.len(), 5);
+        let mut sum = DenseMatrix::zeros(4, 2);
+        for b in &basis {
+            sum.add_scaled_assign(b, 1.0);
+        }
+        for (got, want) in sum.as_slice().iter().zip(x.as_slice()) {
+            assert!((got - want).abs() < 1e-4, "Σ B_v X = X violated: {got} vs {want}");
+        }
+    }
+
+    #[test]
+    fn jacobi_basis_first_two_terms() {
+        let a = path_graph();
+        let sym = a.bool_union(&a.transpose()).unwrap();
+        let op = gcn_operator(&sym);
+        let x = DenseMatrix::ones(4, 1);
+        let basis = jacobi_basis(&op, &x, 3, 1.0, 1.0);
+        assert_eq!(basis.len(), 4);
+        assert_eq!(basis[0], x);
+        // With a = b = 1: P_1 = 2·Â. The GCN operator with self-loops has
+        // row sums ≤ 1; on constants ÂX = rowsum ≈ 1 per node.
+        assert!(basis[1].as_slice().iter().all(|&v| v > 0.0));
+    }
+
+    #[test]
+    fn binomial_values() {
+        assert_eq!(binomial(4, 0), 1.0);
+        assert_eq!(binomial(4, 2), 6.0);
+        assert_eq!(binomial(5, 5), 1.0);
+    }
+}

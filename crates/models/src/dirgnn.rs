@@ -1,0 +1,112 @@
+//! Dir-GNN (Rossi et al., 2023): direction-aware message passing — every
+//! layer aggregates separately over out-edges (`D⁻¹A`) and in-edges
+//! (`D⁻¹Aᵀ`) with independent weights and jumping-knowledge concatenation:
+//!
+//! ```text
+//! H^{(l)} = σ( Â_→ H^{(l-1)} W_→ ‖ Â_← H^{(l-1)} W_← )
+//! ```
+
+use crate::common::in_out_operators;
+use amud_nn::{linear::dropout_mask, Linear, NodeId, ParamBank, SparseOp, Tape};
+use amud_train::{GraphData, Model};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+
+pub struct DirGnn {
+    bank: ParamBank,
+    op_out: SparseOp,
+    op_in: SparseOp,
+    layer1: (Linear, Linear),
+    layer2: (Linear, Linear),
+    head: Linear,
+    dropout: f32,
+}
+
+impl DirGnn {
+    pub fn new(data: &GraphData, hidden: usize, dropout: f32, seed: u64) -> Self {
+        let mut rng = StdRng::seed_from_u64(seed);
+        let (op_out, op_in) = in_out_operators(&data.adj);
+        let mut bank = ParamBank::new();
+        let f = data.n_features();
+        let h = hidden / 2;
+        let layer1 = (Linear::new(&mut bank, f, h, &mut rng), Linear::new(&mut bank, f, h, &mut rng));
+        let layer2 =
+            (Linear::new(&mut bank, 2 * h, h, &mut rng), Linear::new(&mut bank, 2 * h, h, &mut rng));
+        let head = Linear::new(&mut bank, 2 * h, data.n_classes, &mut rng);
+        Self { bank, op_out, op_in, layer1, layer2, head, dropout }
+    }
+
+    fn dir_layer(
+        &self,
+        tape: &mut Tape,
+        x: NodeId,
+        (w_fwd, w_rev): &(Linear, Linear),
+    ) -> NodeId {
+        let fwd = tape.spmm(&self.op_out, x);
+        let fwd = w_fwd.forward(tape, &self.bank, fwd);
+        let rev = tape.spmm(&self.op_in, x);
+        let rev = w_rev.forward(tape, &self.bank, rev);
+        let cat = tape.concat_cols(&[fwd, rev]);
+        tape.relu(cat)
+    }
+}
+
+impl Model for DirGnn {
+    fn bank(&self) -> &ParamBank {
+        &self.bank
+    }
+    fn bank_mut(&mut self) -> &mut ParamBank {
+        &mut self.bank
+    }
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        data: &GraphData,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> NodeId {
+        let mut x = tape.constant(data.features.clone());
+        if training && self.dropout > 0.0 {
+            let (r, c) = tape.value(x).shape();
+            x = tape.dropout(x, dropout_mask(rng, r, c, self.dropout));
+        }
+        let h1 = self.dir_layer(tape, x, &self.layer1);
+        let mut h1d = h1;
+        if training && self.dropout > 0.0 {
+            let (r, c) = tape.value(h1).shape();
+            h1d = tape.dropout(h1, dropout_mask(rng, r, c, self.dropout));
+        }
+        let h2 = self.dir_layer(tape, h1d, &self.layer2);
+        self.head.forward(tape, &self.bank, h2)
+    }
+    fn name(&self) -> &'static str {
+        "DirGNN"
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::registry::tests_support::{quick_train, tiny_data};
+
+    #[test]
+    fn dirgnn_trains_on_oriented_heterophilous_replica() {
+        let data = tiny_data("texas", 19);
+        let mut model = DirGnn::new(&data, 32, 0.2, 19);
+        let acc = quick_train(&mut model, &data, 19);
+        assert!(acc > 0.3, "DirGNN accuracy {acc}");
+    }
+
+    #[test]
+    fn direction_matters_to_dirgnn() {
+        // On a fully oriented digraph the directed model should beat its
+        // own undirected-input variant (the paper's O1/O2 observation).
+        let directed = tiny_data("texas", 20);
+        let undirected = directed.to_undirected();
+        let acc_d = quick_train(&mut DirGnn::new(&directed, 32, 0.2, 20), &directed, 20);
+        let acc_u = quick_train(&mut DirGnn::new(&undirected, 32, 0.2, 20), &undirected, 20);
+        // Allow slack — tiny replicas are noisy — but directed must not be
+        // catastrophically worse.
+        assert!(acc_d + 0.15 > acc_u, "directed {acc_d} vs undirected {acc_u}");
+    }
+}

@@ -1,0 +1,151 @@
+//! Name → builder dispatch for the experiment harness.
+//!
+//! The default hyperparameters below follow the paper's protocol (hidden
+//! width 64, dropout/lr tuned per family) at the modest end of its search
+//! ranges, so the full table sweeps stay CPU-feasible.
+
+use crate::{
+    a2dug::A2dug, aero::AeroGnn, appnp::Appnp, bernnet::BernNet, dgcn::Dgcn, digcn::DiGcn,
+    dimpa::Dimpa, dirgnn::DirGnn, gat::Gat, gcn::Gcn, glognn::GloGnn, gprgnn::GprGnn,
+    h2gcn::H2gcn, jacobi::JacobiConv, linkx::Linkx, magnet::MagNet, mgc::Mgc, mlp::MlpBaseline,
+    nste::Nste, sage::GraphSage, sgc::Sgc,
+};
+use amud_train::{GraphData, Model};
+
+/// Undirected baselines, in the tables' row order.
+pub fn undirected_model_names() -> Vec<&'static str> {
+    vec!["GCN", "SGC", "LINKX", "BernNet", "JacobiConv", "GPRGNN", "GloGNN", "AERO-GNN"]
+}
+
+/// Directed baselines, in the tables' row order.
+pub fn directed_model_names() -> Vec<&'static str> {
+    vec!["DGCN", "DiGCN", "MagNet", "NSTE", "DIMPA", "DirGNN", "A2DUG"]
+}
+
+/// Every baseline (undirected then directed), excluding ADPA which lives in
+/// `amud-core`.
+pub fn model_names() -> Vec<&'static str> {
+    let mut names = undirected_model_names();
+    names.extend(directed_model_names());
+    names
+}
+
+/// Extra models the paper formalises but does not benchmark; available to
+/// the harness alongside the table baselines.
+pub fn extra_model_names() -> Vec<&'static str> {
+    vec!["MLP", "GAT", "GraphSAGE", "H2GCN", "APPNP", "MGC"]
+}
+
+/// Whether the named model consumes directed topology natively.
+pub fn is_directed_model(name: &str) -> bool {
+    directed_model_names().contains(&name) || name == "MGC"
+}
+
+/// Builds a baseline by name with its default hyperparameters.
+///
+/// # Panics
+/// Panics on an unknown name — valid names come from [`model_names`] plus
+/// `"MLP"`.
+pub fn build_model(name: &str, data: &GraphData, seed: u64) -> Box<dyn Model> {
+    let hidden = 64;
+    match name {
+        "MLP" => Box::new(MlpBaseline::new(data, hidden, 0.4, seed)),
+        "GAT" => Box::new(Gat::new(data, hidden, 4, 0.4, seed)),
+        "GraphSAGE" => Box::new(GraphSage::new(data, hidden, 0.4, seed)),
+        "H2GCN" => Box::new(H2gcn::new(data, hidden, 2, 0.4, seed)),
+        "APPNP" => Box::new(Appnp::new(data, hidden, 6, 0.1, 0.4, seed)),
+        "MGC" => Box::new(Mgc::new(data, hidden, 0.15, 0.15, 6, 0.4, seed)),
+        "GCN" => Box::new(Gcn::new(data, hidden, 0.4, seed)),
+        "SGC" => Box::new(Sgc::new(data, 2, seed)),
+        "LINKX" => Box::new(Linkx::new(data, hidden, 0.4, seed)),
+        "BernNet" => Box::new(BernNet::new(data, hidden, 8, 0.4, seed)),
+        "JacobiConv" => Box::new(JacobiConv::new(data, 4, 1.0, 1.0, seed)),
+        "GPRGNN" => Box::new(GprGnn::new(data, hidden, 5, 0.1, 0.4, seed)),
+        "GloGNN" => Box::new(GloGnn::new(data, hidden, 16, 0.5, 2, 0.4, seed)),
+        "AERO-GNN" => Box::new(AeroGnn::new(data, hidden, 4, 0.4, seed)),
+        "DGCN" => Box::new(Dgcn::new(data, hidden, 0.4, seed)),
+        "DiGCN" => Box::new(DiGcn::new(data, hidden, 0.1, 0.4, seed)),
+        "MagNet" => Box::new(MagNet::new(data, hidden, 0.1, 0.4, seed)),
+        "NSTE" => Box::new(Nste::new(data, hidden, 2, 0.4, seed)),
+        "DIMPA" => Box::new(Dimpa::new(data, hidden, 2, 0.4, seed)),
+        "DirGNN" => Box::new(DirGnn::new(data, hidden, 0.4, seed)),
+        "A2DUG" => Box::new(A2dug::new(data, hidden, 0.4, seed)),
+        other => panic!("unknown model '{other}'"),
+    }
+}
+
+/// Shared fixtures for the per-model unit tests.
+#[cfg(test)]
+pub mod tests_support {
+    use amud_datasets::{replica, ReplicaScale};
+    use amud_train::{train, GraphData, Model, TrainConfig};
+
+    /// A tiny replica wrapped as [`GraphData`].
+    pub fn tiny_data(name: &str, seed: u64) -> GraphData {
+        let d = replica(name, ReplicaScale::tiny(), seed);
+        GraphData::new(
+            &d.graph,
+            d.features.clone(),
+            d.split.train.clone(),
+            d.split.val.clone(),
+            d.split.test.clone(),
+        )
+    }
+
+    /// Short training run; returns test accuracy.
+    pub fn quick_train(model: &mut dyn Model, data: &GraphData, seed: u64) -> f64 {
+        let cfg = TrainConfig { epochs: 60, patience: 0, lr: 0.01, weight_decay: 5e-4 };
+        train(model, data, cfg, seed).test_acc
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use tests_support::tiny_data;
+
+    #[test]
+    fn fifteen_baselines_plus_mlp() {
+        assert_eq!(model_names().len(), 15);
+        assert_eq!(undirected_model_names().len(), 8);
+        assert_eq!(directed_model_names().len(), 7);
+    }
+
+    #[test]
+    fn every_model_builds_and_produces_logits() {
+        use amud_nn::Tape;
+        use rand::SeedableRng;
+        let data = tiny_data("texas", 99);
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        for name in model_names().into_iter().chain(extra_model_names()) {
+            let model = build_model(name, &data, 99);
+            let mut tape = Tape::new();
+            let logits = model.forward(&mut tape, &data, false, &mut rng);
+            assert_eq!(
+                tape.value(logits).shape(),
+                (data.n_nodes(), data.n_classes),
+                "{name} logits shape"
+            );
+            assert!(
+                tape.value(logits).as_slice().iter().all(|v| v.is_finite()),
+                "{name} produced non-finite logits"
+            );
+            assert!(model.n_parameters() > 0, "{name} has no parameters");
+        }
+    }
+
+    #[test]
+    fn directedness_classification() {
+        assert!(is_directed_model("MagNet"));
+        assert!(is_directed_model("DirGNN"));
+        assert!(!is_directed_model("GCN"));
+        assert!(!is_directed_model("JacobiConv"));
+    }
+
+    #[test]
+    #[should_panic(expected = "unknown model")]
+    fn unknown_model_panics() {
+        let data = tiny_data("texas", 1);
+        let _ = build_model("GAT-9000", &data, 1);
+    }
+}

@@ -1,0 +1,372 @@
+//! Row-major dense `f32` matrices.
+//!
+//! This is deliberately a plain struct over `Vec<f32>`: all shapes in the
+//! reproduction are known at runtime only, and the hot kernels (matmul in
+//! its three transposition flavours, elementwise maps) are hand-written
+//! loops arranged for cache-friendly row streaming, per the Rust
+//! performance-book guidance (no bounds checks in inner loops thanks to
+//! slice windows, no allocation inside kernels).
+
+use rand::Rng;
+
+/// A dense row-major matrix of `f32`.
+#[derive(Debug, Clone, PartialEq)]
+pub struct DenseMatrix {
+    rows: usize,
+    cols: usize,
+    data: Vec<f32>,
+}
+
+impl DenseMatrix {
+    /// All-zero matrix.
+    pub fn zeros(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![0.0; rows * cols] }
+    }
+
+    /// All-one matrix.
+    pub fn ones(rows: usize, cols: usize) -> Self {
+        Self { rows, cols, data: vec![1.0; rows * cols] }
+    }
+
+    /// Builds from a row-major buffer.
+    ///
+    /// # Panics
+    /// Panics if `data.len() != rows * cols`.
+    pub fn from_vec(rows: usize, cols: usize, data: Vec<f32>) -> Self {
+        assert_eq!(data.len(), rows * cols, "buffer length must match shape");
+        Self { rows, cols, data }
+    }
+
+    /// Builds elementwise from a function of `(row, col)`.
+    pub fn from_fn(rows: usize, cols: usize, mut f: impl FnMut(usize, usize) -> f32) -> Self {
+        let mut data = Vec::with_capacity(rows * cols);
+        for r in 0..rows {
+            for c in 0..cols {
+                data.push(f(r, c));
+            }
+        }
+        Self { rows, cols, data }
+    }
+
+    /// Glorot/Xavier uniform initialisation: `U(−a, a)` with
+    /// `a = sqrt(6 / (fan_in + fan_out))`. The standard initialisation for
+    /// the linear layers of every model in the paper.
+    pub fn xavier_uniform<R: Rng>(rows: usize, cols: usize, rng: &mut R) -> Self {
+        let a = (6.0 / (rows + cols) as f32).sqrt();
+        Self::from_fn(rows, cols, |_, _| rng.gen_range(-a..a))
+    }
+
+    pub fn rows(&self) -> usize {
+        self.rows
+    }
+
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    pub fn shape(&self) -> (usize, usize) {
+        (self.rows, self.cols)
+    }
+
+    pub fn as_slice(&self) -> &[f32] {
+        &self.data
+    }
+
+    pub fn as_mut_slice(&mut self) -> &mut [f32] {
+        &mut self.data
+    }
+
+    #[inline]
+    pub fn get(&self, r: usize, c: usize) -> f32 {
+        self.data[r * self.cols + c]
+    }
+
+    #[inline]
+    pub fn set(&mut self, r: usize, c: usize, v: f32) {
+        self.data[r * self.cols + c] = v;
+    }
+
+    /// Row `r` as a slice.
+    #[inline]
+    pub fn row(&self, r: usize) -> &[f32] {
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// Row `r` as a mutable slice.
+    #[inline]
+    pub fn row_mut(&mut self, r: usize) -> &mut [f32] {
+        &mut self.data[r * self.cols..(r + 1) * self.cols]
+    }
+
+    /// `self · other` — the classic ikj loop: streams `other` row-wise so the
+    /// inner loop is a contiguous axpy.
+    ///
+    /// # Panics
+    /// Panics if `self.cols != other.rows`.
+    pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.rows, "matmul: inner dimensions differ");
+        let mut out = DenseMatrix::zeros(self.rows, other.cols);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+            for (k, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let b_row = other.row(k);
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// `self · otherᵀ` — inner loop is a dot product of two contiguous rows.
+    pub fn matmul_transb(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.cols, other.cols, "matmul_transb: inner dimensions differ");
+        let mut out = DenseMatrix::zeros(self.rows, other.rows);
+        for i in 0..self.rows {
+            let a_row = self.row(i);
+            for j in 0..other.rows {
+                let b_row = other.row(j);
+                let mut acc = 0.0f32;
+                for (&a, &b) in a_row.iter().zip(b_row) {
+                    acc += a * b;
+                }
+                out.data[i * other.rows + j] = acc;
+            }
+        }
+        out
+    }
+
+    /// `selfᵀ · other` — accumulates rank-1 updates row by row.
+    pub fn matmul_transa(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.rows, other.rows, "matmul_transa: inner dimensions differ");
+        let mut out = DenseMatrix::zeros(self.cols, other.cols);
+        for k in 0..self.rows {
+            let a_row = self.row(k);
+            let b_row = other.row(k);
+            for (i, &a) in a_row.iter().enumerate() {
+                if a == 0.0 {
+                    continue;
+                }
+                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
+                for (o, &b) in out_row.iter_mut().zip(b_row) {
+                    *o += a * b;
+                }
+            }
+        }
+        out
+    }
+
+    /// Out-of-place transpose.
+    pub fn transpose(&self) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.cols, self.rows);
+        for r in 0..self.rows {
+            for c in 0..self.cols {
+                out.data[c * self.rows + r] = self.data[r * self.cols + c];
+            }
+        }
+        out
+    }
+
+    /// Elementwise map into a new matrix.
+    pub fn map(&self, f: impl Fn(f32) -> f32) -> DenseMatrix {
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
+    }
+
+    /// `self += alpha * other` (same shape).
+    pub fn add_scaled_assign(&mut self, other: &DenseMatrix, alpha: f32) {
+        assert_eq!(self.shape(), other.shape(), "add_scaled_assign: shape mismatch");
+        for (a, &b) in self.data.iter_mut().zip(&other.data) {
+            *a += alpha * b;
+        }
+    }
+
+    /// Elementwise sum of two matrices.
+    pub fn add(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.shape(), other.shape(), "add: shape mismatch");
+        let mut out = self.clone();
+        out.add_scaled_assign(other, 1.0);
+        out
+    }
+
+    /// Elementwise (Hadamard) product.
+    pub fn hadamard(&self, other: &DenseMatrix) -> DenseMatrix {
+        assert_eq!(self.shape(), other.shape(), "hadamard: shape mismatch");
+        DenseMatrix {
+            rows: self.rows,
+            cols: self.cols,
+            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect(),
+        }
+    }
+
+    /// Scales all entries by `alpha`.
+    pub fn scale(&self, alpha: f32) -> DenseMatrix {
+        self.map(|x| alpha * x)
+    }
+
+    /// Horizontally concatenates matrices (all must share a row count).
+    ///
+    /// # Panics
+    /// Panics on an empty list or mismatched row counts.
+    pub fn concat_cols(parts: &[&DenseMatrix]) -> DenseMatrix {
+        assert!(!parts.is_empty(), "concat_cols needs at least one matrix");
+        let rows = parts[0].rows;
+        assert!(
+            parts.iter().all(|p| p.rows == rows),
+            "concat_cols: all parts must share a row count"
+        );
+        let total_cols: usize = parts.iter().map(|p| p.cols).sum();
+        let mut out = DenseMatrix::zeros(rows, total_cols);
+        for r in 0..rows {
+            let out_row = out.row_mut(r);
+            let mut offset = 0;
+            for p in parts {
+                out_row[offset..offset + p.cols].copy_from_slice(p.row(r));
+                offset += p.cols;
+            }
+        }
+        out
+    }
+
+    /// Copies columns `[start, end)` into a new matrix.
+    pub fn slice_cols(&self, start: usize, end: usize) -> DenseMatrix {
+        assert!(start <= end && end <= self.cols, "slice_cols: bad range");
+        let mut out = DenseMatrix::zeros(self.rows, end - start);
+        for r in 0..self.rows {
+            out.row_mut(r).copy_from_slice(&self.row(r)[start..end]);
+        }
+        out
+    }
+
+    /// Per-row index of the maximum entry — the predicted class per node.
+    pub fn argmax_rows(&self) -> Vec<usize> {
+        (0..self.rows)
+            .map(|r| {
+                self.row(r)
+                    .iter()
+                    .enumerate()
+                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits must not be NaN"))
+                    .map(|(i, _)| i)
+                    .unwrap_or(0)
+            })
+            .collect()
+    }
+
+    /// Frobenius norm.
+    pub fn frobenius_norm(&self) -> f32 {
+        self.data.iter().map(|&x| x * x).sum::<f32>().sqrt()
+    }
+
+    /// Sum of all entries.
+    pub fn sum(&self) -> f32 {
+        self.data.iter().sum()
+    }
+
+    /// Row-wise L2 normalisation (zero rows stay zero).
+    pub fn l2_normalize_rows(&self) -> DenseMatrix {
+        let mut out = self.clone();
+        for r in 0..self.rows {
+            let row = out.row_mut(r);
+            let norm = row.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            if norm > 1e-12 {
+                for x in row {
+                    *x /= norm;
+                }
+            }
+        }
+        out
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use rand::SeedableRng;
+
+    fn a() -> DenseMatrix {
+        DenseMatrix::from_vec(2, 3, vec![1.0, 2.0, 3.0, 4.0, 5.0, 6.0])
+    }
+
+    fn b() -> DenseMatrix {
+        DenseMatrix::from_vec(3, 2, vec![7.0, 8.0, 9.0, 10.0, 11.0, 12.0])
+    }
+
+    #[test]
+    fn matmul_known_product() {
+        let c = a().matmul(&b());
+        assert_eq!(c.as_slice(), &[58.0, 64.0, 139.0, 154.0]);
+    }
+
+    #[test]
+    fn matmul_transb_matches_explicit_transpose() {
+        let bt = b().transpose();
+        let via_transb = a().matmul_transb(&bt);
+        let direct = a().matmul(&b());
+        assert_eq!(via_transb.as_slice(), direct.as_slice());
+    }
+
+    #[test]
+    fn matmul_transa_matches_explicit_transpose() {
+        let explicit = a().transpose().matmul(&a());
+        let fused = a().matmul_transa(&a());
+        assert_eq!(explicit.as_slice(), fused.as_slice());
+    }
+
+    #[test]
+    fn transpose_roundtrip() {
+        assert_eq!(a().transpose().transpose(), a());
+    }
+
+    #[test]
+    fn concat_and_slice_roundtrip() {
+        let m = a();
+        let cat = DenseMatrix::concat_cols(&[&m, &m]);
+        assert_eq!(cat.cols(), 6);
+        assert_eq!(cat.slice_cols(0, 3), m);
+        assert_eq!(cat.slice_cols(3, 6), m);
+    }
+
+    #[test]
+    fn argmax_rows_picks_max() {
+        let m = DenseMatrix::from_vec(2, 3, vec![0.1, 0.9, 0.5, 2.0, -1.0, 0.0]);
+        assert_eq!(m.argmax_rows(), vec![1, 0]);
+    }
+
+    #[test]
+    fn xavier_respects_bound() {
+        let mut rng = rand::rngs::StdRng::seed_from_u64(0);
+        let m = DenseMatrix::xavier_uniform(10, 20, &mut rng);
+        let bound = (6.0f32 / 30.0).sqrt();
+        assert!(m.as_slice().iter().all(|&x| x.abs() <= bound));
+        assert!(m.as_slice().iter().any(|&x| x != 0.0));
+    }
+
+    #[test]
+    fn l2_normalize_rows_unit_norm() {
+        let m = DenseMatrix::from_vec(2, 2, vec![3.0, 4.0, 0.0, 0.0]);
+        let n = m.l2_normalize_rows();
+        assert!((n.row(0)[0] - 0.6).abs() < 1e-6);
+        assert!((n.row(0)[1] - 0.8).abs() < 1e-6);
+        assert_eq!(n.row(1), &[0.0, 0.0]);
+    }
+
+    #[test]
+    fn hadamard_and_scale() {
+        let m = a();
+        assert_eq!(m.hadamard(&m).as_slice(), &[1.0, 4.0, 9.0, 16.0, 25.0, 36.0]);
+        assert_eq!(m.scale(2.0).as_slice(), &[2.0, 4.0, 6.0, 8.0, 10.0, 12.0]);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner dimensions differ")]
+    fn matmul_shape_mismatch_panics() {
+        let _ = a().matmul(&a());
+    }
+}

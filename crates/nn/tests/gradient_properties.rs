@@ -1,0 +1,162 @@
+//! Property-based gradient verification: for random shapes, values and op
+//! chains, the analytic gradient must match central finite differences.
+//! This complements the fixed-case gradchecks in `src/tape.rs` by fuzzing
+//! the shape/value space.
+
+use amud_graph::CsrMatrix;
+use amud_nn::{DenseMatrix, ParamBank, ParamId, SparseOp, Tape};
+use proptest::prelude::*;
+
+/// Builds a parameter with bounded values (keeps activations in the
+/// well-conditioned regime for finite differences).
+fn param_matrix(rows: usize, cols: usize, values: &[f32]) -> DenseMatrix {
+    DenseMatrix::from_fn(rows, cols, |r, c| values[(r * cols + c) % values.len()].clamp(-2.0, 2.0))
+}
+
+/// Central finite-difference check for a scalar-valued function of the
+/// parameter at `pid`.
+fn check_grads(
+    bank: &mut ParamBank,
+    pid: ParamId,
+    mut f: impl FnMut(&ParamBank) -> (f32, DenseMatrix),
+) -> Result<(), TestCaseError> {
+    let (_, analytic) = f(bank);
+    let eps = 1e-2f32;
+    let (rows, cols) = bank.value(pid).shape();
+    for r in 0..rows {
+        for c in 0..cols {
+            let orig = bank.value(pid).get(r, c);
+            bank.value_mut(pid).set(r, c, orig + eps);
+            let (lp, _) = f(bank);
+            bank.value_mut(pid).set(r, c, orig - eps);
+            let (lm, _) = f(bank);
+            bank.value_mut(pid).set(r, c, orig);
+            let numeric = (lp - lm) / (2.0 * eps);
+            let got = analytic.get(r, c);
+            prop_assert!(
+                (numeric - got).abs() < 5e-2 * (1.0 + numeric.abs().max(got.abs())),
+                "grad mismatch at ({}, {}): numeric {}, analytic {}",
+                r,
+                c,
+                numeric,
+                got
+            );
+        }
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_tanh_chain(
+        m in 1usize..4,
+        k in 1usize..4,
+        n in 1usize..4,
+        vals in prop::collection::vec(-1.5f32..1.5, 16),
+    ) {
+        let mut bank = ParamBank::new();
+        let pid = bank.add(param_matrix(k, n, &vals));
+        let x = param_matrix(m, k, &vals);
+        check_grads(&mut bank, pid, |bank| {
+            let mut tape = Tape::new();
+            let p = tape.param(bank, pid);
+            let xn = tape.constant(x.clone());
+            let y = tape.matmul(xn, p);
+            let t = tape.tanh(y);
+            let loss = tape.mean_all(t);
+            tape.backward(loss);
+            (tape.value(loss).get(0, 0), tape.grad(p))
+        })?;
+    }
+
+    #[test]
+    fn spmm_sigmoid_chain(
+        edges in prop::collection::vec((0usize..5, 0usize..5, -1.0f32..1.0), 1..12),
+        cols in 1usize..3,
+        vals in prop::collection::vec(-1.5f32..1.5, 16),
+    ) {
+        let mat = CsrMatrix::from_coo(5, 5, edges).unwrap();
+        let op = SparseOp::new(mat);
+        let mut bank = ParamBank::new();
+        let pid = bank.add(param_matrix(5, cols, &vals));
+        check_grads(&mut bank, pid, |bank| {
+            let mut tape = Tape::new();
+            let p = tape.param(bank, pid);
+            let y = tape.spmm(&op, p);
+            let s = tape.sigmoid(y);
+            let loss = tape.mean_all(s);
+            tape.backward(loss);
+            (tape.value(loss).get(0, 0), tape.grad(p))
+        })?;
+    }
+
+    #[test]
+    fn softmax_colscale_chain(
+        rows in 2usize..5,
+        k in 1usize..3,
+        vals in prop::collection::vec(-1.0f32..1.0, 24),
+    ) {
+        let mut bank = ParamBank::new();
+        let pid = bank.add(param_matrix(rows, k, &vals));
+        let x = param_matrix(rows, 3, &vals);
+        check_grads(&mut bank, pid, |bank| {
+            let mut tape = Tape::new();
+            let p = tape.param(bank, pid);
+            let w = tape.row_softmax(p);
+            let xn = tape.constant(x.clone());
+            let y = tape.col_scale(w, 0, xn);
+            let loss = tape.mean_all(y);
+            tape.backward(loss);
+            (tape.value(loss).get(0, 0), tape.grad(p))
+        })?;
+    }
+
+    #[test]
+    fn concat_relu_bias_chain(
+        rows in 1usize..4,
+        cols in 1usize..4,
+        vals in prop::collection::vec(-1.5f32..1.5, 16),
+    ) {
+        let mut bank = ParamBank::new();
+        let pid = bank.add(param_matrix(rows, cols, &vals));
+        let bias = param_matrix(1, 2 * cols, &vals);
+        check_grads(&mut bank, pid, |bank| {
+            let mut tape = Tape::new();
+            let p = tape.param(bank, pid);
+            let cat = tape.concat_cols(&[p, p]);
+            let bn = tape.constant(bias.clone());
+            let shifted = tape.add_bias(cat, bn);
+            // leaky_relu avoids the kink's nondifferentiability dominating.
+            let act = tape.leaky_relu(shifted, 0.1);
+            let loss = tape.mean_all(act);
+            tape.backward(loss);
+            (tape.value(loss).get(0, 0), tape.grad(p))
+        })?;
+    }
+
+    #[test]
+    fn cross_entropy_is_bounded_and_differentiable(
+        rows in 2usize..5,
+        classes in 2usize..4,
+        vals in prop::collection::vec(-2.0f32..2.0, 24),
+    ) {
+        let mut bank = ParamBank::new();
+        let pid = bank.add(param_matrix(rows, classes, &vals));
+        let labels = std::rc::Rc::new((0..rows).map(|r| r % classes).collect::<Vec<_>>());
+        let mask = std::rc::Rc::new((0..rows).collect::<Vec<_>>());
+        let mut tape = Tape::new();
+        let p = tape.param(&bank, pid);
+        let loss = tape.masked_cross_entropy(p, labels, mask);
+        let value = tape.value(loss).get(0, 0);
+        prop_assert!(value >= 0.0, "CE must be non-negative, got {}", value);
+        tape.backward(loss);
+        let g = tape.grad(p);
+        // CE gradient rows sum to zero (softmax minus one-hot).
+        for r in 0..rows {
+            let s: f32 = g.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5, "row {} grad sums to {}", r, s);
+        }
+    }
+}

@@ -1,0 +1,114 @@
+//! The data bundle consumed by every model.
+
+use amud_graph::{CsrMatrix, DiGraph};
+use amud_nn::DenseMatrix;
+use std::rc::Rc;
+
+/// Everything a node-classification model needs: the (possibly directed)
+/// adjacency, node features, labels and the semi-supervised split.
+///
+/// `adj` is the raw binary adjacency without self-loops; each model derives
+/// its own normalised operators from it at construction time (decoupled
+/// pre-processing, Sec. IV-D).
+#[derive(Debug, Clone)]
+pub struct GraphData {
+    pub adj: CsrMatrix,
+    pub features: DenseMatrix,
+    pub labels: Rc<Vec<usize>>,
+    pub n_classes: usize,
+    pub train: Rc<Vec<usize>>,
+    pub val: Rc<Vec<usize>>,
+    pub test: Rc<Vec<usize>>,
+}
+
+impl GraphData {
+    /// Assembles the bundle from parts, validating shapes.
+    ///
+    /// # Panics
+    /// Panics on inconsistent node counts.
+    pub fn new(
+        graph: &DiGraph,
+        features: DenseMatrix,
+        train: Vec<usize>,
+        val: Vec<usize>,
+        test: Vec<usize>,
+    ) -> Self {
+        let n = graph.n_nodes();
+        assert_eq!(features.rows(), n, "feature rows must equal node count");
+        let labels = graph.labels().expect("GraphData requires labelled graphs").to_vec();
+        assert!(!train.is_empty(), "training set must not be empty");
+        Self {
+            adj: graph.adjacency().clone(),
+            features,
+            labels: Rc::new(labels),
+            n_classes: graph.n_classes(),
+            train: Rc::new(train),
+            val: Rc::new(val),
+            test: Rc::new(test),
+        }
+    }
+
+    pub fn n_nodes(&self) -> usize {
+        self.adj.n_rows()
+    }
+
+    pub fn n_features(&self) -> usize {
+        self.features.cols()
+    }
+
+    /// The coarse undirected transformation of the bundle.
+    pub fn to_undirected(&self) -> GraphData {
+        let adj = self
+            .adj
+            .bool_union(&self.adj.transpose())
+            .expect("A and Aᵀ share a shape");
+        GraphData { adj, ..self.clone() }
+    }
+
+    /// Whether the stored adjacency is symmetric.
+    pub fn is_undirected(&self) -> bool {
+        self.adj.same_pattern(&self.adj.transpose())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amud_graph::DiGraph;
+
+    fn toy() -> GraphData {
+        let g = DiGraph::from_edges(4, vec![(0, 1), (1, 2), (2, 3)])
+            .unwrap()
+            .with_labels(vec![0, 1, 0, 1], 2)
+            .unwrap();
+        let x = DenseMatrix::ones(4, 3);
+        GraphData::new(&g, x, vec![0, 1], vec![2], vec![3])
+    }
+
+    #[test]
+    fn bundle_shapes() {
+        let d = toy();
+        assert_eq!(d.n_nodes(), 4);
+        assert_eq!(d.n_features(), 3);
+        assert_eq!(d.n_classes, 2);
+    }
+
+    #[test]
+    fn undirected_view() {
+        let d = toy();
+        assert!(!d.is_undirected());
+        let u = d.to_undirected();
+        assert!(u.is_undirected());
+        assert_eq!(u.adj.nnz(), 6);
+    }
+
+    #[test]
+    #[should_panic(expected = "training set must not be empty")]
+    fn empty_train_rejected() {
+        let g = DiGraph::from_edges(2, vec![(0, 1)])
+            .unwrap()
+            .with_labels(vec![0, 1], 2)
+            .unwrap();
+        let _ = GraphData::new(&g, DenseMatrix::ones(2, 1), vec![], vec![0], vec![1]);
+    }
+}

@@ -1,0 +1,170 @@
+//! Deterministic grid search — the reproduction's stand-in for the paper's
+//! Optuna-based hyperparameter search (Sec. V-A). The paper explores
+//! propagation steps and MLP depths in 1..5, dropout in {0.2, 0.4, 0.6,
+//! 0.8} and learning rate in {0.1, 0.01, 0.001}; [`HyperGrid`] spans
+//! exactly that space, and [`grid_search`] evaluates an arbitrary
+//! user-supplied objective over any candidate list.
+
+use crate::trainer::TrainConfig;
+
+/// A candidate hyperparameter assignment drawn from [`HyperGrid`].
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct HyperPoint {
+    pub k_steps: usize,
+    pub mlp_layers: usize,
+    pub dropout: f32,
+    pub lr: f32,
+    /// Eq. 1 convolution kernel coefficient.
+    pub conv_r: f32,
+}
+
+/// The paper's search space (Sec. V-A "Hyper-parameters").
+#[derive(Debug, Clone)]
+pub struct HyperGrid {
+    pub k_steps: Vec<usize>,
+    pub mlp_layers: Vec<usize>,
+    pub dropout: Vec<f32>,
+    pub lr: Vec<f32>,
+    pub conv_r: Vec<f32>,
+}
+
+impl Default for HyperGrid {
+    fn default() -> Self {
+        Self {
+            k_steps: vec![1, 2, 3, 4, 5],
+            mlp_layers: vec![1, 2, 3, 4, 5],
+            dropout: vec![0.2, 0.4, 0.6, 0.8],
+            lr: vec![0.1, 0.01, 0.001],
+            conv_r: vec![0.0, 0.5, 1.0],
+        }
+    }
+}
+
+impl HyperGrid {
+    /// A small grid for smoke tests and quick tuning.
+    pub fn coarse() -> Self {
+        Self {
+            k_steps: vec![2, 3],
+            mlp_layers: vec![2],
+            dropout: vec![0.2, 0.4],
+            lr: vec![0.01],
+            conv_r: vec![0.0],
+        }
+    }
+
+    /// Enumerates every point of the grid (cartesian product) in a fixed
+    /// deterministic order.
+    pub fn points(&self) -> Vec<HyperPoint> {
+        let mut out = Vec::new();
+        for &k_steps in &self.k_steps {
+            for &mlp_layers in &self.mlp_layers {
+                for &dropout in &self.dropout {
+                    for &lr in &self.lr {
+                        for &conv_r in &self.conv_r {
+                            out.push(HyperPoint { k_steps, mlp_layers, dropout, lr, conv_r });
+                        }
+                    }
+                }
+            }
+        }
+        out
+    }
+
+    /// Grid size.
+    pub fn len(&self) -> usize {
+        self.k_steps.len()
+            * self.mlp_layers.len()
+            * self.dropout.len()
+            * self.lr.len()
+            * self.conv_r.len()
+    }
+
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+impl HyperPoint {
+    /// The training configuration this point implies (epochs/patience from
+    /// the base config, lr from the point).
+    pub fn train_config(&self, base: TrainConfig) -> TrainConfig {
+        TrainConfig { lr: self.lr, ..base }
+    }
+}
+
+/// Result of one grid evaluation.
+#[derive(Debug, Clone)]
+pub struct GridOutcome {
+    pub point: HyperPoint,
+    /// The objective (validation accuracy by convention — higher is better).
+    pub score: f64,
+}
+
+/// Evaluates `objective` at every point and returns all outcomes sorted
+/// best-first, ties broken by grid order (deterministic).
+///
+/// # Panics
+/// Panics on an empty candidate list or a NaN objective.
+pub fn grid_search(
+    points: &[HyperPoint],
+    mut objective: impl FnMut(&HyperPoint) -> f64,
+) -> Vec<GridOutcome> {
+    assert!(!points.is_empty(), "grid search needs at least one candidate");
+    let mut outcomes: Vec<GridOutcome> = points
+        .iter()
+        .map(|&point| {
+            let score = objective(&point);
+            assert!(!score.is_nan(), "objective must not be NaN at {point:?}");
+            GridOutcome { point, score }
+        })
+        .collect();
+    outcomes.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaN scores"));
+    outcomes
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn default_grid_matches_paper_space() {
+        let g = HyperGrid::default();
+        assert_eq!(g.len(), 5 * 5 * 4 * 3 * 3);
+        assert_eq!(g.points().len(), g.len());
+    }
+
+    #[test]
+    fn points_are_deterministic() {
+        let g = HyperGrid::coarse();
+        assert_eq!(g.points(), g.points());
+    }
+
+    #[test]
+    fn grid_search_finds_known_optimum() {
+        let g = HyperGrid::coarse();
+        let points = g.points();
+        // Objective peaks at k_steps = 3, dropout = 0.4.
+        let best = grid_search(&points, |p| {
+            -((p.k_steps as f64 - 3.0).powi(2)) - (p.dropout as f64 - 0.4).powi(2)
+        });
+        assert_eq!(best[0].point.k_steps, 3);
+        assert!((best[0].point.dropout - 0.4).abs() < 1e-6);
+        assert_eq!(best.len(), points.len());
+        // Sorted best-first.
+        assert!(best.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn point_overrides_learning_rate() {
+        let p = HyperPoint { k_steps: 2, mlp_layers: 2, dropout: 0.2, lr: 0.1, conv_r: 0.0 };
+        let cfg = p.train_config(TrainConfig::default());
+        assert_eq!(cfg.lr, 0.1);
+        assert_eq!(cfg.epochs, TrainConfig::default().epochs);
+    }
+
+    #[test]
+    #[should_panic(expected = "at least one candidate")]
+    fn empty_grid_panics() {
+        let _ = grid_search(&[], |_| 0.0);
+    }
+}

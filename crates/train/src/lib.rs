@@ -1,0 +1,28 @@
+//! # amud-train
+//!
+//! The training harness shared by ADPA and all fifteen baselines:
+//!
+//! * [`data::GraphData`] — the bundle every model consumes (adjacency,
+//!   features, labels, split);
+//! * [`model::Model`] — the common trait (`forward` onto a tape +
+//!   parameter-bank access);
+//! * [`trainer`] — Adam training loop with early stopping on validation
+//!   accuracy, epoch curves (Fig. 5) and seeded repeats (the paper's
+//!   "repeat each experiment 10 times" protocol);
+//! * [`metrics`] — accuracy and mean±std summaries;
+//! * [`grid`] — deterministic hyperparameter grid search over the paper's
+//!   Sec. V-A search space.
+
+pub mod data;
+pub mod grid;
+pub mod metrics;
+pub mod model;
+pub mod trainer;
+
+pub use data::GraphData;
+pub use grid::{grid_search, GridOutcome, HyperGrid, HyperPoint};
+pub use metrics::{accuracy, binary_auc, confusion_matrix, macro_f1, Summary};
+pub use model::Model;
+pub use trainer::{
+    repeat_runs, train, train_with_curve, RepeatOutcome, TrainConfig, TrainCurve, TrainResult,
+};

@@ -1,0 +1,239 @@
+//! Accuracy and summary statistics.
+
+use amud_nn::DenseMatrix;
+
+/// Fraction of `indices` whose argmax logit matches the label.
+pub fn accuracy(logits: &DenseMatrix, labels: &[usize], indices: &[usize]) -> f64 {
+    if indices.is_empty() {
+        return 0.0;
+    }
+    let preds = logits.argmax_rows();
+    let correct = indices.iter().filter(|&&v| preds[v] == labels[v]).count();
+    correct as f64 / indices.len() as f64
+}
+
+/// Mean ± sample standard deviation over repeated runs, as reported in the
+/// paper's tables (`84.5±0.6` style).
+#[derive(Debug, Clone, PartialEq)]
+pub struct Summary {
+    pub mean: f64,
+    pub std: f64,
+    pub runs: Vec<f64>,
+}
+
+impl Summary {
+    pub fn from_runs(runs: Vec<f64>) -> Summary {
+        assert!(!runs.is_empty(), "summary needs at least one run");
+        let n = runs.len() as f64;
+        let mean = runs.iter().sum::<f64>() / n;
+        let var = if runs.len() > 1 {
+            runs.iter().map(|&x| (x - mean).powi(2)).sum::<f64>() / (n - 1.0)
+        } else {
+            0.0
+        };
+        Summary { mean, std: var.sqrt(), runs }
+    }
+}
+
+impl std::fmt::Display for Summary {
+    /// Formats as percentage, e.g. `84.5±0.6`.
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        write!(f, "{:.1}±{:.1}", self.mean * 100.0, self.std * 100.0)
+    }
+}
+
+/// Average rank helper for the tables' `Rank` column: given per-model
+/// accuracy lists (one accuracy per dataset, same dataset order), returns
+/// the average rank of each model (1 = best).
+pub fn average_ranks(per_model_accuracies: &[Vec<f64>]) -> Vec<f64> {
+    assert!(!per_model_accuracies.is_empty());
+    let n_datasets = per_model_accuracies[0].len();
+    assert!(
+        per_model_accuracies.iter().all(|a| a.len() == n_datasets),
+        "all models must cover the same datasets"
+    );
+    let n_models = per_model_accuracies.len();
+    let mut ranks = vec![0.0f64; n_models];
+    for d in 0..n_datasets {
+        let mut order: Vec<usize> = (0..n_models).collect();
+        order.sort_by(|&a, &b| {
+            per_model_accuracies[b][d]
+                .partial_cmp(&per_model_accuracies[a][d])
+                .expect("accuracies must not be NaN")
+        });
+        for (rank, &model) in order.iter().enumerate() {
+            ranks[model] += (rank + 1) as f64;
+        }
+    }
+    for r in &mut ranks {
+        *r /= n_datasets as f64;
+    }
+    ranks
+}
+
+/// Confusion matrix over `indices`: `counts[true * n_classes + pred]`.
+pub fn confusion_matrix(
+    logits: &DenseMatrix,
+    labels: &[usize],
+    indices: &[usize],
+    n_classes: usize,
+) -> Vec<usize> {
+    let preds = logits.argmax_rows();
+    let mut counts = vec![0usize; n_classes * n_classes];
+    for &v in indices {
+        counts[labels[v] * n_classes + preds[v]] += 1;
+    }
+    counts
+}
+
+/// Macro-averaged F1 over `indices` — the class-balance-robust companion
+/// to accuracy (relevant for imbalanced replicas like Tolokers). Classes
+/// absent from `indices` are skipped.
+pub fn macro_f1(
+    logits: &DenseMatrix,
+    labels: &[usize],
+    indices: &[usize],
+    n_classes: usize,
+) -> f64 {
+    let cm = confusion_matrix(logits, labels, indices, n_classes);
+    let mut f1_sum = 0.0f64;
+    let mut present = 0usize;
+    for c in 0..n_classes {
+        let tp = cm[c * n_classes + c] as f64;
+        let row_total: usize = (0..n_classes).map(|p| cm[c * n_classes + p]).sum();
+        let col_total: usize = (0..n_classes).map(|t| cm[t * n_classes + c]).sum();
+        if row_total == 0 {
+            continue; // class not present in the evaluation set
+        }
+        present += 1;
+        let precision = if col_total > 0 { tp / col_total as f64 } else { 0.0 };
+        let recall = tp / row_total as f64;
+        if precision + recall > 0.0 {
+            f1_sum += 2.0 * precision * recall / (precision + recall);
+        }
+    }
+    if present == 0 {
+        0.0
+    } else {
+        f1_sum / present as f64
+    }
+}
+
+/// Binary ROC-AUC over `indices` using the positive-class logit margin
+/// (`logit₁ − logit₀`) as the score — the metric commonly reported for
+/// the binary Tolokers benchmark. Ties are handled by the rank-sum
+/// (Mann–Whitney) formulation.
+///
+/// # Panics
+/// Panics if the problem is not binary.
+pub fn binary_auc(logits: &DenseMatrix, labels: &[usize], indices: &[usize]) -> f64 {
+    assert_eq!(logits.cols(), 2, "AUC requires a binary problem");
+    let mut scored: Vec<(f64, usize)> = indices
+        .iter()
+        .map(|&v| ((logits.get(v, 1) - logits.get(v, 0)) as f64, labels[v]))
+        .collect();
+    let n_pos = scored.iter().filter(|&&(_, y)| y == 1).count();
+    let n_neg = scored.len() - n_pos;
+    if n_pos == 0 || n_neg == 0 {
+        return 0.5;
+    }
+    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    // Average ranks over tied scores.
+    let mut rank_sum_pos = 0.0f64;
+    let mut i = 0;
+    while i < scored.len() {
+        let mut j = i;
+        while j + 1 < scored.len() && scored[j + 1].0 == scored[i].0 {
+            j += 1;
+        }
+        let avg_rank = (i + j) as f64 / 2.0 + 1.0;
+        for item in &scored[i..=j] {
+            if item.1 == 1 {
+                rank_sum_pos += avg_rank;
+            }
+        }
+        i = j + 1;
+    }
+    (rank_sum_pos - n_pos as f64 * (n_pos as f64 + 1.0) / 2.0) / (n_pos as f64 * n_neg as f64)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn accuracy_counts_matches() {
+        let logits = DenseMatrix::from_vec(3, 2, vec![0.9, 0.1, 0.2, 0.8, 0.6, 0.4]);
+        let labels = vec![0, 1, 1];
+        assert_eq!(accuracy(&logits, &labels, &[0, 1, 2]), 2.0 / 3.0);
+        assert_eq!(accuracy(&logits, &labels, &[0, 1]), 1.0);
+        assert_eq!(accuracy(&logits, &labels, &[]), 0.0);
+    }
+
+    #[test]
+    fn summary_mean_std() {
+        let s = Summary::from_runs(vec![0.8, 0.9, 1.0]);
+        assert!((s.mean - 0.9).abs() < 1e-12);
+        assert!((s.std - 0.1).abs() < 1e-9);
+        assert_eq!(format!("{s}"), "90.0±10.0");
+    }
+
+    #[test]
+    fn summary_single_run_zero_std() {
+        let s = Summary::from_runs(vec![0.5]);
+        assert_eq!(s.std, 0.0);
+    }
+
+    #[test]
+    fn confusion_matrix_counts() {
+        let logits = DenseMatrix::from_vec(4, 2, vec![0.9, 0.1, 0.1, 0.9, 0.9, 0.1, 0.1, 0.9]);
+        let labels = vec![0, 1, 1, 1];
+        let cm = confusion_matrix(&logits, &labels, &[0, 1, 2, 3], 2);
+        assert_eq!(cm, vec![1, 0, 1, 2]);
+    }
+
+    #[test]
+    fn macro_f1_perfect_and_degenerate() {
+        let logits = DenseMatrix::from_vec(4, 2, vec![1., 0., 0., 1., 1., 0., 0., 1.]);
+        let labels = vec![0, 1, 0, 1];
+        assert!((macro_f1(&logits, &labels, &[0, 1, 2, 3], 2) - 1.0).abs() < 1e-12);
+        // All-wrong predictions → 0.
+        let bad = vec![1, 0, 1, 0];
+        assert_eq!(macro_f1(&logits, &bad, &[0, 1, 2, 3], 2), 0.0);
+    }
+
+    #[test]
+    fn macro_f1_penalises_majority_collapse() {
+        // Predicting the majority class everywhere: accuracy 0.75 but
+        // macro-F1 only counts the majority class's F1 / 2.
+        let logits = DenseMatrix::from_vec(4, 2, vec![1., 0., 1., 0., 1., 0., 1., 0.]);
+        let labels = vec![0, 0, 0, 1];
+        let acc = accuracy(&logits, &labels, &[0, 1, 2, 3]);
+        let f1 = macro_f1(&logits, &labels, &[0, 1, 2, 3], 2);
+        assert!((acc - 0.75).abs() < 1e-12);
+        assert!(f1 < acc, "macro-F1 {f1} must penalise collapse vs accuracy {acc}");
+    }
+
+    #[test]
+    fn auc_separable_and_random() {
+        // Perfectly separable: AUC 1.
+        let logits =
+            DenseMatrix::from_vec(4, 2, vec![2., 0., 1.5, 0., 0., 1.5, 0., 2.]);
+        let labels = vec![0, 0, 1, 1];
+        assert!((binary_auc(&logits, &labels, &[0, 1, 2, 3]) - 1.0).abs() < 1e-12);
+        // Constant scores: AUC 0.5 by the tie rule.
+        let flat = DenseMatrix::zeros(4, 2);
+        assert!((binary_auc(&flat, &labels, &[0, 1, 2, 3]) - 0.5).abs() < 1e-12);
+        // Inverted separable: AUC 0.
+        let inv = DenseMatrix::from_vec(4, 2, vec![0., 2., 0., 1.5, 1.5, 0., 2., 0.]);
+        assert!(binary_auc(&inv, &labels, &[0, 1, 2, 3]) < 1e-12);
+    }
+
+    #[test]
+    fn average_ranks_orders_models() {
+        // model 0 best everywhere, model 2 worst everywhere
+        let accs = vec![vec![0.9, 0.8], vec![0.7, 0.7], vec![0.1, 0.2]];
+        let ranks = average_ranks(&accs);
+        assert_eq!(ranks, vec![1.0, 2.0, 3.0]);
+    }
+}

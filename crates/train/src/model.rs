@@ -1,0 +1,34 @@
+//! The model trait shared by ADPA and every baseline.
+
+use crate::data::GraphData;
+use amud_nn::{NodeId, ParamBank, Tape};
+use rand::rngs::StdRng;
+
+/// A trainable node classifier.
+///
+/// A model is constructed against a specific [`GraphData`] (pre-computing
+/// whatever operators it needs — normalised adjacencies, polynomial bases,
+/// propagated features) and then repeatedly records its forward pass onto a
+/// fresh tape per training step. The returned node must hold `n × C` logits.
+pub trait Model {
+    /// The parameter bank holding all trainable weights.
+    fn bank(&self) -> &ParamBank;
+
+    /// Mutable access for the optimiser.
+    fn bank_mut(&mut self) -> &mut ParamBank;
+
+    /// Records the forward pass; returns the logits node (`n × n_classes`).
+    ///
+    /// `training` toggles dropout; `rng` is only consumed when training
+    /// (evaluation must be deterministic).
+    fn forward(&self, tape: &mut Tape, data: &GraphData, training: bool, rng: &mut StdRng)
+        -> NodeId;
+
+    /// Human-readable model name for experiment tables.
+    fn name(&self) -> &'static str;
+
+    /// Number of trainable scalars (diagnostics).
+    fn n_parameters(&self) -> usize {
+        self.bank().n_scalars()
+    }
+}

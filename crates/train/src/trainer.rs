@@ -1,0 +1,266 @@
+//! Training loop with early stopping and seeded repeats.
+
+use crate::data::GraphData;
+use crate::metrics::{accuracy, Summary};
+use crate::model::Model;
+use amud_nn::{Adam, Tape};
+use rand::rngs::StdRng;
+use rand::SeedableRng;
+use std::rc::Rc;
+
+/// Hyperparameters of the training loop.
+#[derive(Debug, Clone, Copy)]
+pub struct TrainConfig {
+    pub epochs: usize,
+    /// Early stopping: stop after this many epochs without a new best
+    /// validation accuracy. `0` disables early stopping.
+    pub patience: usize,
+    pub lr: f32,
+    pub weight_decay: f32,
+}
+
+impl Default for TrainConfig {
+    fn default() -> Self {
+        Self { epochs: 200, patience: 30, lr: 0.01, weight_decay: 5e-4 }
+    }
+}
+
+/// One epoch's record for training-dynamics plots (Fig. 5).
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct TrainCurve {
+    pub epoch: usize,
+    pub train_loss: f64,
+    pub val_acc: f64,
+    pub test_acc: f64,
+}
+
+/// Outcome of a single training run.
+#[derive(Debug, Clone)]
+pub struct TrainResult {
+    /// Best validation accuracy observed.
+    pub best_val_acc: f64,
+    /// Test accuracy at the best-validation epoch (the reported metric).
+    pub test_acc: f64,
+    /// Epochs actually run (≤ config.epochs with early stopping).
+    pub epochs_run: usize,
+    /// Per-epoch curve (empty unless `train_with_curve` is used).
+    pub curve: Vec<TrainCurve>,
+}
+
+/// Trains `model` on `data`, returning the test accuracy at the epoch of
+/// best validation accuracy.
+pub fn train(model: &mut dyn Model, data: &GraphData, cfg: TrainConfig, seed: u64) -> TrainResult {
+    train_inner(model, data, cfg, seed, false)
+}
+
+/// Like [`train`] but records the full per-epoch curve (used by Fig. 5).
+pub fn train_with_curve(
+    model: &mut dyn Model,
+    data: &GraphData,
+    cfg: TrainConfig,
+    seed: u64,
+) -> TrainResult {
+    train_inner(model, data, cfg, seed, true)
+}
+
+fn train_inner(
+    model: &mut dyn Model,
+    data: &GraphData,
+    cfg: TrainConfig,
+    seed: u64,
+    record_curve: bool,
+) -> TrainResult {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut adam = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay).with_clip_norm(5.0);
+    let labels = Rc::clone(&data.labels);
+    let train_mask = Rc::clone(&data.train);
+
+    let mut best_val = f64::NEG_INFINITY;
+    let mut test_at_best = 0.0f64;
+    let mut since_best = 0usize;
+    let mut curve = Vec::new();
+    let mut epochs_run = 0usize;
+
+    for epoch in 0..cfg.epochs {
+        epochs_run = epoch + 1;
+        // --- optimisation step ---
+        let mut tape = Tape::new();
+        let logits = model.forward(&mut tape, data, true, &mut rng);
+        let loss = tape.masked_cross_entropy(logits, Rc::clone(&labels), Rc::clone(&train_mask));
+        let train_loss = tape.value(loss).get(0, 0) as f64;
+        tape.backward(loss);
+        tape.apply_grads(model.bank_mut());
+        adam.step(model.bank_mut());
+
+        // --- evaluation ---
+        let mut eval_tape = Tape::new();
+        let eval_logits = model.forward(&mut eval_tape, data, false, &mut rng);
+        let logit_values = eval_tape.value(eval_logits);
+        let val_acc = accuracy(logit_values, &labels, &data.val);
+        let test_acc = accuracy(logit_values, &labels, &data.test);
+
+        if record_curve {
+            curve.push(TrainCurve { epoch, train_loss, val_acc, test_acc });
+        }
+
+        if val_acc > best_val {
+            best_val = val_acc;
+            test_at_best = test_acc;
+            since_best = 0;
+        } else {
+            since_best += 1;
+            if cfg.patience > 0 && since_best >= cfg.patience {
+                break;
+            }
+        }
+    }
+
+    TrainResult { best_val_acc: best_val, test_acc: test_at_best, epochs_run, curve }
+}
+
+/// The outcome of repeated seeded runs of one model on one dataset.
+#[derive(Debug, Clone)]
+pub struct RepeatOutcome {
+    pub summary: Summary,
+    pub results: Vec<TrainResult>,
+}
+
+/// Runs `build` → train `repeats` times with seeds `base_seed + i` and
+/// summarises test accuracy — the tables' `mean±std` protocol.
+pub fn repeat_runs<M: Model>(
+    mut build: impl FnMut(u64) -> M,
+    data: &GraphData,
+    cfg: TrainConfig,
+    repeats: usize,
+    base_seed: u64,
+) -> RepeatOutcome {
+    assert!(repeats >= 1, "need at least one repeat");
+    let mut results = Vec::with_capacity(repeats);
+    for i in 0..repeats {
+        let seed = base_seed + i as u64;
+        let mut model = build(seed);
+        results.push(train(&mut model, data, cfg, seed));
+    }
+    let summary = Summary::from_runs(results.iter().map(|r| r.test_acc).collect());
+    RepeatOutcome { summary, results }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amud_graph::DiGraph;
+    use amud_nn::{Activation, DenseMatrix, Mlp, NodeId, ParamBank};
+
+    /// A plain MLP over node features — the simplest possible Model.
+    struct MlpModel {
+        bank: ParamBank,
+        mlp: Mlp,
+    }
+
+    impl MlpModel {
+        fn new(data: &GraphData, seed: u64) -> Self {
+            let mut rng = StdRng::seed_from_u64(seed);
+            let mut bank = ParamBank::new();
+            let mlp = Mlp::new(
+                &mut bank,
+                &[data.n_features(), 16, data.n_classes],
+                Activation::Relu,
+                0.0,
+                &mut rng,
+            );
+            Self { bank, mlp }
+        }
+    }
+
+    impl Model for MlpModel {
+        fn bank(&self) -> &ParamBank {
+            &self.bank
+        }
+        fn bank_mut(&mut self) -> &mut ParamBank {
+            &mut self.bank
+        }
+        fn forward(
+            &self,
+            tape: &mut Tape,
+            data: &GraphData,
+            training: bool,
+            rng: &mut StdRng,
+        ) -> NodeId {
+            let x = tape.constant(data.features.clone());
+            self.mlp.forward(tape, &self.bank, x, training, rng)
+        }
+        fn name(&self) -> &'static str {
+            "MLP"
+        }
+    }
+
+    /// Separable toy data: features are the one-hot label plus noise.
+    fn toy_data(seed: u64) -> GraphData {
+        let mut rng = StdRng::seed_from_u64(seed);
+        use rand::Rng;
+        let n = 120;
+        let labels: Vec<usize> = (0..n).map(|v| v % 3).collect();
+        let g = DiGraph::from_edges(n, vec![(0, 1)])
+            .unwrap()
+            .with_labels(labels.clone(), 3)
+            .unwrap();
+        let x = DenseMatrix::from_fn(n, 3, |r, c| {
+            let base = if labels[r] == c { 1.0 } else { 0.0 };
+            base + 0.3 * rng.gen::<f32>()
+        });
+        let train: Vec<usize> = (0..60).collect();
+        let val: Vec<usize> = (60..90).collect();
+        let test: Vec<usize> = (90..n).collect();
+        GraphData::new(&g, x, train, val, test)
+    }
+
+    #[test]
+    fn training_reaches_high_accuracy_on_separable_data() {
+        let data = toy_data(0);
+        let mut model = MlpModel::new(&data, 1);
+        let cfg = TrainConfig { epochs: 150, patience: 0, lr: 0.01, weight_decay: 0.0 };
+        let result = train(&mut model, &data, cfg, 1);
+        assert!(result.test_acc > 0.9, "test accuracy {}", result.test_acc);
+        assert_eq!(result.epochs_run, 150);
+    }
+
+    #[test]
+    fn early_stopping_halts_before_max() {
+        let data = toy_data(0);
+        let mut model = MlpModel::new(&data, 1);
+        let cfg = TrainConfig { epochs: 500, patience: 10, lr: 0.01, weight_decay: 0.0 };
+        let result = train(&mut model, &data, cfg, 1);
+        assert!(result.epochs_run < 500, "early stopping never fired");
+    }
+
+    #[test]
+    fn curves_are_recorded_and_loss_decreases() {
+        let data = toy_data(0);
+        let mut model = MlpModel::new(&data, 2);
+        let cfg = TrainConfig { epochs: 60, patience: 0, lr: 0.01, weight_decay: 0.0 };
+        let result = train_with_curve(&mut model, &data, cfg, 2);
+        assert_eq!(result.curve.len(), 60);
+        let first = result.curve.first().unwrap().train_loss;
+        let last = result.curve.last().unwrap().train_loss;
+        assert!(last < first * 0.5, "loss {first} → {last}");
+    }
+
+    #[test]
+    fn seeded_runs_are_reproducible() {
+        let data = toy_data(3);
+        let cfg = TrainConfig { epochs: 30, patience: 0, lr: 0.01, weight_decay: 0.0 };
+        let r1 = train(&mut MlpModel::new(&data, 7), &data, cfg, 7);
+        let r2 = train(&mut MlpModel::new(&data, 7), &data, cfg, 7);
+        assert_eq!(r1.test_acc, r2.test_acc);
+        assert_eq!(r1.best_val_acc, r2.best_val_acc);
+    }
+
+    #[test]
+    fn repeat_runs_summarises() {
+        let data = toy_data(4);
+        let cfg = TrainConfig { epochs: 40, patience: 0, lr: 0.01, weight_decay: 0.0 };
+        let out = repeat_runs(|seed| MlpModel::new(&data, seed), &data, cfg, 3, 100);
+        assert_eq!(out.results.len(), 3);
+        assert!(out.summary.mean > 0.8);
+    }
+}

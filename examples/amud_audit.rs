@@ -1,0 +1,40 @@
+//! Audit every benchmark replica with the full metric suite: the five
+//! classic homophily measures (directed and undirected views) and the AMUD
+//! guidance score — the data-engineering view of Tables I & II.
+//!
+//! ```sh
+//! cargo run --example amud_audit --release
+//! ```
+
+use amud_repro::core::amud::amud_score;
+use amud_repro::datasets::{all_replicas, ReplicaScale};
+use amud_repro::graph::measures::homophily_report;
+
+fn main() {
+    println!(
+        "{:<18} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  {}",
+        "dataset", "Hnode", "Hedge", "Hclass", "Hadj", "LI", "S", "θ", "decision"
+    );
+    for d in all_replicas(ReplicaScale::default(), 42) {
+        let h = homophily_report(&d.graph);
+        let amud = amud_score(d.graph.adjacency(), d.labels(), d.n_classes());
+        println!(
+            "{:<18} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.3} {:>7.2}  {:?} (paper: {:?})",
+            d.name(),
+            h.node,
+            h.edge,
+            h.class,
+            h.adjusted,
+            h.label_informativeness,
+            amud.score,
+            amud.theta,
+            amud.decision,
+            d.spec.regime,
+        );
+    }
+    println!(
+        "\nNote how the classic measures conflate Actor (orientation-uninformative)\n\
+         with Chameleon (orientation-informative) — both 'heterophilous' — while\n\
+         the AMUD score separates them. That separation is the paper's Table V story."
+    );
+}

@@ -1,0 +1,154 @@
+//! `amud` — command-line front door to the reproduction.
+//!
+//! ```text
+//! amud score   <dataset|file.amud>       AMUD report for a digraph
+//! amud train   <dataset> [model]         train one model end-to-end
+//! amud export  <dataset> <file.amud>     write a replica to disk
+//! amud list                              datasets and models available
+//! ```
+//!
+//! `<dataset>` is a replica name from Table II (`cora_ml`, `texas`, …);
+//! anything ending in `.amud` is loaded from disk instead. Scale and
+//! repeats respect the `AMUD_SCALE` / `AMUD_EPOCHS` environment knobs.
+
+use amud_repro::core::{paradigm, Adpa, AdpaConfig};
+use amud_repro::datasets::registry::all_specs;
+use amud_repro::datasets::{replica, Dataset, ReplicaScale};
+use amud_repro::models::registry::{build_model, extra_model_names, is_directed_model, model_names};
+use amud_repro::train::{train, GraphData, Model, TrainConfig};
+
+fn env_scale() -> ReplicaScale {
+    match std::env::var("AMUD_SCALE").as_deref() {
+        Ok("tiny") => ReplicaScale::tiny(),
+        Ok("full") => ReplicaScale::full(),
+        _ => ReplicaScale::default(),
+    }
+}
+
+fn load_dataset(arg: &str) -> Dataset {
+    if arg.ends_with(".amud") {
+        let text = std::fs::read_to_string(arg)
+            .unwrap_or_else(|e| die(&format!("cannot read {arg}: {e}")));
+        amud_repro::datasets::io::dataset_from_text(&text)
+            .unwrap_or_else(|e| die(&format!("cannot parse {arg}: {e}")))
+    } else {
+        replica(arg, env_scale(), 42)
+    }
+}
+
+fn to_bundle(d: &Dataset) -> GraphData {
+    GraphData::new(
+        &d.graph,
+        d.features.clone(),
+        d.split.train.clone(),
+        d.split.val.clone(),
+        d.split.test.clone(),
+    )
+}
+
+fn die(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+fn cmd_score(target: &str) {
+    let d = load_dataset(target);
+    let data = to_bundle(&d);
+    let (report, par) = paradigm::decide(&data);
+    println!("dataset: {} ({} nodes, {} edges, {} classes)", d.name(), d.n_nodes(), d.graph.n_edges(), d.n_classes());
+    println!("\nper-pattern correlations with node profiles:");
+    for c in &report.correlations {
+        println!(
+            "  {:<6} r = {:+.4}   R² = {:.6}   combined R² = {:.6}   floor = {:.6}",
+            c.pattern.name(),
+            c.r,
+            c.r_squared,
+            c.r_squared_combined,
+            c.noise_floor
+        );
+    }
+    println!("\nguidance score S = {:.3} (θ = {})", report.score, report.theta);
+    println!("decision: {:?} → Paradigm {:?}", report.decision, par);
+}
+
+fn cmd_train(target: &str, model_name: &str) {
+    let d = load_dataset(target);
+    let data = to_bundle(&d);
+    let epochs: usize =
+        std::env::var("AMUD_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(150);
+    let cfg = TrainConfig { epochs, patience: 30, lr: 0.01, weight_decay: 5e-4 };
+    println!("training {model_name} on {} ({} nodes)...", d.name(), d.n_nodes());
+    let result = if model_name == "ADPA" {
+        let (prepared, report, _) = paradigm::prepare_topology(&data);
+        println!("AMUD S = {:.3} → {:?}", report.score, report.decision);
+        let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0);
+        train(&mut model, &prepared, cfg, 0)
+    } else {
+        struct Shim(Box<dyn Model>);
+        impl Model for Shim {
+            fn bank(&self) -> &amud_repro::nn::ParamBank {
+                self.0.bank()
+            }
+            fn bank_mut(&mut self) -> &mut amud_repro::nn::ParamBank {
+                self.0.bank_mut()
+            }
+            fn forward(
+                &self,
+                tape: &mut amud_repro::nn::Tape,
+                data: &GraphData,
+                training: bool,
+                rng: &mut rand::rngs::StdRng,
+            ) -> amud_repro::nn::NodeId {
+                self.0.forward(tape, data, training, rng)
+            }
+            fn name(&self) -> &'static str {
+                self.0.name()
+            }
+        }
+        let input = if is_directed_model(model_name) { data.clone() } else { data.to_undirected() };
+        let mut model = Shim(build_model(model_name, &input, 0));
+        train(&mut model, &input, cfg, 0)
+    };
+    println!(
+        "done in {} epochs — best val acc {:.3}, test acc {:.3}",
+        result.epochs_run, result.best_val_acc, result.test_acc
+    );
+}
+
+fn cmd_export(dataset: &str, path: &str) {
+    let d = load_dataset(dataset);
+    let text = amud_repro::datasets::io::dataset_to_text(&d);
+    std::fs::write(path, text).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    println!("wrote {} ({} nodes, {} edges) to {path}", d.name(), d.n_nodes(), d.graph.n_edges());
+}
+
+fn cmd_list() {
+    println!("datasets (Table II replicas):");
+    for s in all_specs() {
+        println!(
+            "  {:<18} {:>6} nodes {:>7} edges  {:?}",
+            s.name, s.paper_nodes, s.paper_edges, s.regime
+        );
+    }
+    println!("\nbaseline models: {}", model_names().join(", "));
+    println!("extra models:    {}", extra_model_names().join(", "));
+    println!("and ADPA (the paper's model).");
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    match args.first().map(String::as_str) {
+        Some("score") if args.len() == 2 => cmd_score(&args[1]),
+        Some("train") if args.len() >= 2 => {
+            cmd_train(&args[1], args.get(2).map(String::as_str).unwrap_or("ADPA"))
+        }
+        Some("export") if args.len() == 3 => cmd_export(&args[1], &args[2]),
+        Some("list") => cmd_list(),
+        _ => {
+            eprintln!(
+                "usage:\n  amud score  <dataset|file.amud>\n  amud train  <dataset> [model]\n  amud export <dataset> <file.amud>\n  amud list"
+            );
+            std::process::exit(2);
+        }
+    }
+}

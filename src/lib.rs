@@ -1,0 +1,24 @@
+//! # amud-repro
+//!
+//! Umbrella crate for the Rust reproduction of *"Breaking the Entanglement of
+//! Homophily and Heterophily in Semi-supervised Node Classification"*
+//! (ICDE 2024). It re-exports the public API of every workspace crate so the
+//! examples and integration tests have a single import root.
+//!
+//! The two contributions of the paper live in [`core`]:
+//!
+//! * [`core::amud`] — AMUD, the statistical guidance that decides whether a
+//!   natural digraph should be modeled directed or undirected.
+//! * [`core::adpa`] — ADPA, the adaptive directed-pattern aggregation model.
+//!
+//! The remaining crates are the substrates the paper depends on: a sparse
+//! graph engine ([`graph`]), an autodiff engine ([`nn`]), synthetic dataset
+//! replicas ([`datasets`]), fifteen baseline GNNs ([`models`]) and a training
+//! harness ([`train`]).
+
+pub use amud_core as core;
+pub use amud_datasets as datasets;
+pub use amud_graph as graph;
+pub use amud_models as models;
+pub use amud_nn as nn;
+pub use amud_train as train;

@@ -1,0 +1,165 @@
+//! Property-based tests over the substrates' invariants (DESIGN.md §6).
+
+use amud_repro::core::amud::{amud_score, guidance_score};
+use amud_repro::graph::measures::{adjusted_homophily, edge_homophily, label_informativeness};
+use amud_repro::graph::patterns::DirectedPattern;
+use amud_repro::graph::{CsrMatrix, DiGraph};
+use amud_repro::nn::DenseMatrix;
+use proptest::prelude::*;
+
+/// Strategy: a random edge list over `n` nodes.
+fn edges(n: usize, max_m: usize) -> impl Strategy<Value = Vec<(usize, usize)>> {
+    prop::collection::vec((0..n, 0..n), 0..max_m)
+}
+
+/// Strategy: random labels over `n` nodes with `c` classes.
+fn labels(n: usize, c: usize) -> impl Strategy<Value = Vec<usize>> {
+    prop::collection::vec(0..c, n)
+}
+
+proptest! {
+    #[test]
+    fn csr_from_coo_roundtrips(list in edges(20, 80)) {
+        let m = CsrMatrix::from_edges(20, 20, list.clone()).unwrap();
+        // Duplicate entries sum (documented from_coo semantics); the stored
+        // value equals each pair's multiplicity, and nothing else exists.
+        let mut counts: std::collections::HashMap<(usize, usize), f32> =
+            std::collections::HashMap::new();
+        for &(r, c) in &list {
+            *counts.entry((r, c)).or_insert(0.0) += 1.0;
+        }
+        for (&(r, c), &want) in &counts {
+            prop_assert_eq!(m.get(r, c), want);
+        }
+        prop_assert_eq!(m.nnz(), counts.len());
+        // Rows are sorted strictly ascending.
+        for r in 0..20 {
+            let cols = m.row_cols(r);
+            prop_assert!(cols.windows(2).all(|w| w[0] < w[1]));
+        }
+    }
+
+    #[test]
+    fn transpose_is_involution(list in edges(15, 60)) {
+        let m = CsrMatrix::from_edges(15, 15, list).unwrap();
+        prop_assert_eq!(m.transpose().transpose(), m);
+    }
+
+    #[test]
+    fn spmm_matches_dense_matmul(list in edges(10, 40), cols in 1usize..4) {
+        let m = CsrMatrix::from_edges(10, 10, list).unwrap();
+        let x = DenseMatrix::from_fn(10, cols, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+        let mut sparse_out = DenseMatrix::zeros(10, cols);
+        m.spmm(x.as_slice(), cols, sparse_out.as_mut_slice());
+        // Dense reference.
+        let dense = m.to_dense();
+        for r in 0..10 {
+            for c in 0..cols {
+                let want: f32 = (0..10).map(|k| dense[r * 10 + k] * x.get(k, c)).sum();
+                prop_assert!((sparse_out.get(r, c) - want).abs() < 1e-4);
+            }
+        }
+    }
+
+    #[test]
+    fn bool_matmul_matches_dense_reachability(a_list in edges(8, 24), b_list in edges(8, 24)) {
+        let a = CsrMatrix::from_edges(8, 8, a_list).unwrap();
+        let b = CsrMatrix::from_edges(8, 8, b_list).unwrap();
+        let prod = a.bool_matmul(&b).unwrap();
+        let (da, db) = (a.to_dense(), b.to_dense());
+        for r in 0..8 {
+            for c in 0..8 {
+                let reachable = (0..8).any(|k| da[r * 8 + k] != 0.0 && db[k * 8 + c] != 0.0);
+                prop_assert_eq!(prod.get(r, c) != 0.0, reachable, "entry ({}, {})", r, c);
+            }
+        }
+    }
+
+    #[test]
+    fn row_normalized_rows_sum_to_one_or_zero(list in edges(12, 50)) {
+        let m = CsrMatrix::from_edges(12, 12, list).unwrap().row_normalized();
+        for r in 0..12 {
+            let s: f32 = m.row_values(r).iter().sum();
+            prop_assert!(s.abs() < 1e-5 || (s - 1.0).abs() < 1e-5, "row {} sums to {}", r, s);
+        }
+    }
+
+    #[test]
+    fn undirected_transformation_is_idempotent(list in edges(15, 60)) {
+        let g = DiGraph::from_edges(15, list).unwrap();
+        let u1 = g.to_undirected();
+        let u2 = u1.to_undirected();
+        prop_assert_eq!(u1.n_edges(), u2.n_edges());
+        prop_assert!(u1.is_symmetric());
+    }
+
+    #[test]
+    fn edge_homophily_is_a_probability(list in edges(15, 60), ys in labels(15, 4)) {
+        let g = DiGraph::from_edges(15, list).unwrap().with_labels(ys, 4).unwrap();
+        let h = edge_homophily(g.adjacency(), g.labels().unwrap());
+        prop_assert!((0.0..=1.0).contains(&h));
+    }
+
+    #[test]
+    fn adjusted_homophily_bounded_above_by_one(list in edges(15, 60), ys in labels(15, 3)) {
+        let g = DiGraph::from_edges(15, list).unwrap().with_labels(ys, 3).unwrap();
+        let h = adjusted_homophily(g.adjacency(), g.labels().unwrap(), 3);
+        prop_assert!(h <= 1.0 + 1e-9, "H_adj = {}", h);
+    }
+
+    #[test]
+    fn label_informativeness_in_unit_interval(list in edges(15, 60), ys in labels(15, 3)) {
+        let g = DiGraph::from_edges(15, list).unwrap().with_labels(ys, 3).unwrap();
+        let li = label_informativeness(g.adjacency(), g.labels().unwrap(), 3);
+        prop_assert!((-1e-9..=1.0 + 1e-9).contains(&li), "LI = {}", li);
+    }
+
+    #[test]
+    fn patterns_collapse_on_symmetric_graphs(list in edges(10, 40)) {
+        let g = DiGraph::from_edges(10, list).unwrap().to_undirected();
+        let mats: Vec<Vec<f32>> = DirectedPattern::two_order()
+            .iter()
+            .map(|p| p.materialize(g.adjacency()).unwrap().to_dense())
+            .collect();
+        for m in &mats[1..] {
+            prop_assert_eq!(m, &mats[0]);
+        }
+    }
+
+    #[test]
+    fn amud_score_zero_on_symmetric_graphs(list in edges(20, 80), ys in labels(20, 3)) {
+        let g = DiGraph::from_edges(20, list).unwrap().with_labels(ys, 3).unwrap();
+        let u = g.to_undirected();
+        let report = amud_score(u.adjacency(), u.labels().unwrap(), 3);
+        prop_assert!(report.score < 1e-9, "symmetric graph scored {}", report.score);
+    }
+
+    #[test]
+    fn guidance_score_is_scale_free(r2 in prop::collection::vec(0.0f64..1.0, 4), scale in 0.01f64..100.0) {
+        let scaled: Vec<f64> = r2.iter().map(|&x| x * scale).collect();
+        let s1 = guidance_score(&r2);
+        let s2 = guidance_score(&scaled);
+        prop_assert!((s1 - s2).abs() < 1e-9, "{} vs {}", s1, s2);
+    }
+
+    #[test]
+    fn guidance_score_nonnegative_and_zero_on_equal(x in 0.001f64..1.0) {
+        prop_assert_eq!(guidance_score(&[x, x, x, x]), 0.0);
+    }
+
+    #[test]
+    fn dense_matmul_associates_with_identity(rows in 1usize..6, cols in 1usize..6) {
+        let x = DenseMatrix::from_fn(rows, cols, |r, c| (r * cols + c) as f32 * 0.5 - 1.0);
+        let eye = DenseMatrix::from_fn(cols, cols, |r, c| if r == c { 1.0 } else { 0.0 });
+        prop_assert_eq!(x.matmul(&eye), x);
+    }
+
+    #[test]
+    fn concat_then_slice_recovers_parts(rows in 1usize..6, c1 in 1usize..5, c2 in 1usize..5) {
+        let a = DenseMatrix::from_fn(rows, c1, |r, c| (r + c) as f32);
+        let b = DenseMatrix::from_fn(rows, c2, |r, c| (r * c) as f32 - 1.0);
+        let cat = DenseMatrix::concat_cols(&[&a, &b]);
+        prop_assert_eq!(cat.slice_cols(0, c1), a);
+        prop_assert_eq!(cat.slice_cols(c1, c1 + c2), b);
+    }
+}
