@@ -1,0 +1,29 @@
+#!/usr/bin/env sh
+# Workspace CI gate: formatting, clippy, the lint harness, and tier-1
+# (build + tests). Run from the repo root; stops at the first failure.
+set -eu
+
+echo "==> cargo fmt --check"
+cargo fmt --check
+
+echo "==> cargo clippy --workspace -- -D warnings"
+cargo clippy --workspace -- -D warnings
+
+echo "==> cargo run -p amud-lint"
+cargo run --release -q -p amud-lint
+
+# The linter must still bite: the committed fixture has a fresh violation
+# and explicit-file mode grants zero budget.
+echo "==> amud-lint fixture must fail"
+if cargo run --release -q -p amud-lint -- crates/lint/fixtures/bad.rs >/dev/null 2>&1; then
+    echo "error: lint fixture passed — the harness has gone soft" >&2
+    exit 1
+fi
+
+echo "==> cargo build --release"
+cargo build --release
+
+echo "==> cargo test -q"
+cargo test -q
+
+echo "ci: all green"

@@ -19,9 +19,7 @@ fn main() {
             let cells: Vec<String> = curves
                 .iter()
                 .map(|(_, r)| {
-                    r.curve
-                        .get(epoch)
-                        .map_or("-".into(), |p| format!("{:.3}", p.val_acc))
+                    r.curve.get(epoch).map_or("-".into(), |p| format!("{:.3}", p.val_acc))
                 })
                 .collect();
             print_row(&format!("{epoch}"), &cells);

@@ -5,9 +5,7 @@
 
 use amud_bench::{env_repeats, load, print_header, print_row, run_adpa, sweep_config};
 use amud_core::AdpaConfig;
-use amud_models::{
-    dimpa::Dimpa, gprgnn::GprGnn, nste::Nste, sgc::Sgc,
-};
+use amud_models::{dimpa::Dimpa, gprgnn::GprGnn, nste::Nste, sgc::Sgc};
 use amud_train::{repeat_runs, GraphData, TrainConfig};
 
 fn run_k(name: &str, data: &GraphData, k: usize, cfg: TrainConfig, repeats: usize) -> f64 {

@@ -23,24 +23,12 @@ fn main() {
         .collect();
 
     let rows: Vec<(&str, AdpaConfig)> = vec![
-        (
-            "w/o DP Attn",
-            AdpaConfig { dp_attention: DpAttention::None, ..Default::default() },
-        ),
-        (
-            "DP-Original",
-            AdpaConfig { dp_attention: DpAttention::Original, ..Default::default() },
-        ),
+        ("w/o DP Attn", AdpaConfig { dp_attention: DpAttention::None, ..Default::default() }),
+        ("DP-Original", AdpaConfig { dp_attention: DpAttention::Original, ..Default::default() }),
         ("DP-Gate", AdpaConfig { dp_attention: DpAttention::Gate, ..Default::default() }),
-        (
-            "DP-Recursive",
-            AdpaConfig { dp_attention: DpAttention::Recursive, ..Default::default() },
-        ),
+        ("DP-Recursive", AdpaConfig { dp_attention: DpAttention::Recursive, ..Default::default() }),
         ("DP-JK", AdpaConfig { dp_attention: DpAttention::Jk, ..Default::default() }),
-        (
-            "w/o Hop Attn",
-            AdpaConfig { hop_attention: false, ..Default::default() },
-        ),
+        ("w/o Hop Attn", AdpaConfig { hop_attention: false, ..Default::default() }),
         ("ADPA (full)", AdpaConfig::default()),
     ];
 

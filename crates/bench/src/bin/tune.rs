@@ -46,7 +46,12 @@ fn main() {
     for o in outcomes.iter().take(5) {
         println!(
             "  val {:.3}  K={} layers={} dropout={:.1} lr={} r={:.1}",
-            o.score, o.point.k_steps, o.point.mlp_layers, o.point.dropout, o.point.lr, o.point.conv_r
+            o.score,
+            o.point.k_steps,
+            o.point.mlp_layers,
+            o.point.dropout,
+            o.point.lr,
+            o.point.conv_r
         );
     }
 

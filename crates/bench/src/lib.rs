@@ -52,6 +52,30 @@ pub fn sweep_config() -> TrainConfig {
     TrainConfig { epochs: env_epochs(150), patience: 30, lr: 0.01, weight_decay: 5e-4 }
 }
 
+/// True when the binary was invoked with `--verify-tape`: every model a
+/// harness entry point trains is then statically verified first and the
+/// findings printed (the run aborts if the verifier reports errors).
+pub fn verify_tape_requested() -> bool {
+    std::env::args().any(|a| a == "--verify-tape")
+}
+
+/// Runs [`amud_train::verify_model`] on `model` and prints the findings
+/// under the given label. Exits the process on error-severity findings —
+/// the tape would panic mid-kernel anyway, this way it dies with a report.
+pub fn report_verification(label: &str, model: &dyn amud_train::Model, input: &GraphData) {
+    use amud_nn::verify::{has_errors, render, Severity};
+    let diags = amud_train::verify_model(model, input, 0);
+    if diags.is_empty() {
+        eprintln!("verify-tape: {label}: clean");
+        return;
+    }
+    let worst = diags.iter().map(|d| d.severity).max().unwrap_or(Severity::Info);
+    eprintln!("verify-tape: {label}: {} finding(s) [{worst:?}]\n{}", diags.len(), render(&diags));
+    if has_errors(&diags) {
+        std::process::exit(1);
+    }
+}
+
 /// Wraps a replica as the harness's [`GraphData`] bundle (directed topology).
 pub fn to_graph_data(d: &Dataset) -> GraphData {
     GraphData::new(
@@ -78,8 +102,7 @@ pub fn run_baseline(
     repeats: usize,
     seed: u64,
 ) -> Summary {
-    let input =
-        if is_directed_model(name) { directed.clone() } else { directed.to_undirected() };
+    let input = if is_directed_model(name) { directed.clone() } else { directed.to_undirected() };
     run_on(name, &input, cfg, repeats, seed)
 }
 
@@ -117,6 +140,9 @@ pub fn run_on(
     repeats: usize,
     seed: u64,
 ) -> Summary {
+    if verify_tape_requested() {
+        report_verification(name, &Shim(build_model(name, input, seed)), input);
+    }
     repeat_runs(|s| Shim(build_model(name, input, s)), input, cfg, repeats, seed).summary
 }
 
@@ -128,6 +154,9 @@ pub fn run_adpa(
     repeats: usize,
     seed: u64,
 ) -> Summary {
+    if verify_tape_requested() {
+        report_verification("ADPA", &Adpa::new(input, adpa_cfg, seed), input);
+    }
     repeat_runs(|s| Adpa::new(input, adpa_cfg, s), input, cfg, repeats, seed).summary
 }
 
@@ -204,8 +233,10 @@ pub fn run_accuracy_table(title: &str, datasets: &[&str]) {
         print_row("ADPA", &cells);
     }
 
-    println!("
-Average rank (1 = best):");
+    println!(
+        "
+Average rank (1 = best):"
+    );
     let ranks = average_ranks(&acc_matrix);
     let mut order: Vec<usize> = (0..labels.len()).collect();
     order.sort_by(|&a, &b| ranks[a].partial_cmp(&ranks[b]).expect("ranks are finite"));

@@ -77,7 +77,10 @@ impl Default for AdpaConfig {
     fn default() -> Self {
         Self {
             max_order: 2,
-            k_steps: 3,
+            // Fig. 6 sweeps K per dataset; K = 2 is the strongest setting at
+            // replica scale on both paradigms (deeper propagation oversmooths
+            // and adds data-starved W_DP columns on small graphs).
+            k_steps: 2,
             hidden: 64,
             classifier_layers: 2,
             dropout: 0.4,
@@ -129,8 +132,7 @@ impl Adpa {
         {
             let mut keep: Vec<usize> = Vec::new();
             for (i, op) in patterns.operators().iter().enumerate() {
-                let duplicate =
-                    keep.iter().any(|&j| patterns.operators()[j].same_pattern(op));
+                let duplicate = keep.iter().any(|&j| patterns.operators()[j].same_pattern(op));
                 if !duplicate {
                     keep.push(i);
                 }
@@ -140,9 +142,14 @@ impl Adpa {
             }
         }
         if let Some(r) = cfg.dp_select {
-            let ranked =
-                rank_patterns(patterns.operators(), &data.labels, data.n_classes, Some(&data.train));
-            let keep: Vec<usize> = ranked.iter().take(r.max(1).min(patterns.len())).map(|&(i, _)| i).collect();
+            let ranked = rank_patterns(
+                patterns.operators(),
+                &data.labels,
+                data.n_classes,
+                Some(&data.train),
+            );
+            let keep: Vec<usize> =
+                ranked.iter().take(r.max(1).min(patterns.len())).map(|&(i, _)| i).collect();
             patterns = patterns.select(&keep);
         }
         let pattern_names = patterns.patterns().iter().map(|p| p.name()).collect();
@@ -195,31 +202,22 @@ impl Adpa {
         &self.pattern_names
     }
 
+    /// The configuration this model was built with.
     pub fn config(&self) -> &AdpaConfig {
         &self.cfg
     }
 
     /// Records the Eq. 10 fusion for step `l`, returning the `n × hidden`
     /// representation.
-    fn fuse_step(
-        &self,
-        tape: &mut Tape,
-        l: usize,
-        training: bool,
-        rng: &mut StdRng,
-    ) -> NodeId {
+    fn fuse_step(&self, tape: &mut Tape, l: usize, training: bool, rng: &mut StdRng) -> NodeId {
         let op_feats = self.propagated.step_with_residual(l);
-        let inputs: Vec<NodeId> =
-            op_feats.iter().map(|m| tape.constant((*m).clone())).collect();
+        let inputs: Vec<NodeId> = op_feats.iter().map(|m| tape.constant((*m).clone())).collect();
 
         let fused_input = match self.cfg.dp_attention {
             DpAttention::Original => {
                 let w = tape.param(&self.bank, self.w_dp.expect("Original allocates W_DP"));
-                let weighted: Vec<NodeId> = inputs
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &x)| tape.col_scale(w, j, x))
-                    .collect();
+                let weighted: Vec<NodeId> =
+                    inputs.iter().enumerate().map(|(j, &x)| tape.col_scale(w, j, x)).collect();
                 tape.concat_cols(&weighted)
             }
             DpAttention::Gate => {
@@ -245,11 +243,8 @@ impl Adpa {
                     .collect();
                 let e = tape.concat_cols(&logits);
                 let w = tape.row_softmax(e);
-                let weighted: Vec<NodeId> = inputs
-                    .iter()
-                    .enumerate()
-                    .map(|(j, &x)| tape.col_scale(w, j, x))
-                    .collect();
+                let weighted: Vec<NodeId> =
+                    inputs.iter().enumerate().map(|(j, &x)| tape.col_scale(w, j, x)).collect();
                 tape.concat_cols(&weighted)
             }
             DpAttention::Jk => tape.concat_cols(&inputs),
@@ -291,9 +286,8 @@ impl Model for Adpa {
         rng: &mut StdRng,
     ) -> NodeId {
         // Level 1: DP attention per step (Eq. 10).
-        let step_reprs: Vec<NodeId> = (1..=self.cfg.k_steps)
-            .map(|l| self.fuse_step(tape, l, training, rng))
-            .collect();
+        let step_reprs: Vec<NodeId> =
+            (1..=self.cfg.k_steps).map(|l| self.fuse_step(tape, l, training, rng)).collect();
 
         // Level 2: hop attention across steps (Eq. 11).
         let fused = if let Some(hop) = &self.hop_scorer {
@@ -398,11 +392,7 @@ mod tests {
             let cfg = AdpaConfig { dp_attention: variant, k_steps: 2, ..Default::default() };
             let mut model = Adpa::new(&d, cfg, 3);
             let result = train(&mut model, &d, quick_cfg(), 3);
-            assert!(
-                result.test_acc > 0.2,
-                "{variant:?} accuracy {}",
-                result.test_acc
-            );
+            assert!(result.test_acc > 0.2, "{variant:?} accuracy {}", result.test_acc);
         }
     }
 
@@ -453,10 +443,8 @@ mod tests {
     #[test]
     fn parameter_count_grows_with_order() {
         let d = data("texas", 7);
-        let p1 = Adpa::new(&d, AdpaConfig { max_order: 1, ..Default::default() }, 7)
-            .n_parameters();
-        let p2 = Adpa::new(&d, AdpaConfig { max_order: 2, ..Default::default() }, 7)
-            .n_parameters();
+        let p1 = Adpa::new(&d, AdpaConfig { max_order: 1, ..Default::default() }, 7).n_parameters();
+        let p2 = Adpa::new(&d, AdpaConfig { max_order: 2, ..Default::default() }, 7).n_parameters();
         assert!(p2 > p1, "order-2 ADPA must have more parameters ({p1} vs {p2})");
     }
 }

@@ -134,7 +134,7 @@ pub fn pattern_label_correlation_with_support(
         }
         mask
     });
-    let is_in = |v: usize| in_set.as_ref().map_or(true, |m| m[v]);
+    let is_in = |v: usize| in_set.as_ref().is_none_or(|m| m[v]);
 
     let n_labelled = match &in_set {
         Some(m) => m.iter().filter(|&&b| b).count(),
@@ -152,7 +152,8 @@ pub fn pattern_label_correlation_with_support(
             class_counts[y] += 1;
         }
     }
-    let same_label_pairs: f64 = class_counts.iter().map(|&c| (c * (c.saturating_sub(1))) as f64).sum();
+    let same_label_pairs: f64 =
+        class_counts.iter().map(|&c| (c * (c.saturating_sub(1))) as f64).sum();
 
     // Operator edges among labelled pairs, and their same-label overlap.
     let mut n_g = 0f64;
@@ -167,8 +168,7 @@ pub fn pattern_label_correlation_with_support(
         }
     }
 
-    let denom_sq =
-        n_g * (total_pairs - n_g) * same_label_pairs * (total_pairs - same_label_pairs);
+    let denom_sq = n_g * (total_pairs - n_g) * same_label_pairs * (total_pairs - same_label_pairs);
     if denom_sq <= 0.0 {
         return (0.0, n_g);
     }
@@ -270,7 +270,15 @@ pub fn amud_score_profiles(
     features: Option<&DenseMatrix>,
     theta: f64,
 ) -> AmudReport {
-    amud_score_patterns(adj, labels, n_classes, labelled, features, DirectedPattern::two_order(), theta)
+    amud_score_patterns(
+        adj,
+        labels,
+        n_classes,
+        labelled,
+        features,
+        DirectedPattern::two_order(),
+        theta,
+    )
 }
 
 /// Higher-order AMUD — the extension the paper sketches in Sec. III-C
@@ -332,7 +340,14 @@ fn amud_score_patterns(
                 }
             };
             let noise_floor = if eff_support > 0.0 { LAMBDA / eff_support } else { f64::MAX };
-            PatternCorrelation { pattern: p, r, r_squared, support, r_squared_combined, noise_floor }
+            PatternCorrelation {
+                pattern: p,
+                r,
+                r_squared,
+                support,
+                r_squared_combined,
+                noise_floor,
+            }
         })
         .collect();
     let values: Vec<f64> = correlations.iter().map(|c| c.r_squared_combined).collect();

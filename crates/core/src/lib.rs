@@ -30,9 +30,13 @@
 //! assert!(report.score < 1e-9);
 //! ```
 
+/// ADPA — the paper's adaptive directed-pattern-aggregation model (§IV).
 pub mod adpa;
+/// AMUD — the topological-guidance score and decision rule (§III).
 pub mod amud;
+/// Paradigm selection: AMUD decision → undirected/directed pipeline.
 pub mod paradigm;
+/// k-order directed-pattern propagation operators (Eq. 7–9).
 pub mod propagation;
 
 pub use adpa::{Adpa, AdpaConfig, DpAttention};

@@ -19,6 +19,7 @@ pub enum Paradigm {
 }
 
 impl Paradigm {
+    /// Maps the AMUD decision onto the matching learning paradigm.
     pub fn from_decision(d: AmudDecision) -> Paradigm {
         match d {
             AmudDecision::Undirected => Paradigm::I,

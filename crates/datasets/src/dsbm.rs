@@ -150,10 +150,7 @@ impl DsbmConfig {
     /// replacement from the class-pair distribution.
     pub fn generate<R: Rng>(&self, rng: &mut R) -> DiGraph {
         assert!(self.n_classes >= 1, "need at least one class");
-        assert!(
-            self.n_nodes >= 2 * self.n_classes,
-            "need at least two nodes per class"
-        );
+        assert!(self.n_nodes >= 2 * self.n_classes, "need at least two nodes per class");
         let n = self.n_nodes;
         let c = self.n_classes;
         // Contiguous class blocks (relabelling-invariance of every metric is
@@ -243,10 +240,7 @@ mod tests {
             let cfg = DsbmConfig::new(600, 6000, 4).with_homophily(target);
             let g = cfg.generate(&mut rng(11));
             let h = edge_homophily(g.adjacency(), g.labels().unwrap());
-            assert!(
-                (h - target).abs() < 0.06,
-                "target {target}, achieved {h}"
-            );
+            assert!((h - target).abs() < 0.06, "target {target}, achieved {h}");
         }
     }
 
@@ -311,10 +305,7 @@ mod tests {
         let skewed = base.with_degree_exponent(1.0).generate(&mut rng(5));
         let max_flat = *flat.out_degrees().iter().max().unwrap();
         let max_skewed = *skewed.out_degrees().iter().max().unwrap();
-        assert!(
-            max_skewed > 2 * max_flat,
-            "skewed max degree {max_skewed} vs flat {max_flat}"
-        );
+        assert!(max_skewed > 2 * max_flat, "skewed max degree {max_skewed} vs flat {max_flat}");
     }
 
     #[test]

@@ -54,9 +54,8 @@ pub fn gaussian_features<R: Rng>(
     rng: &mut R,
 ) -> DenseMatrix {
     let normal = Normal::new(0.0f32, 1.0).expect("unit normal is valid");
-    let centroids: Vec<Vec<f32>> = (0..n_classes)
-        .map(|_| (0..dim).map(|_| normal.sample(rng)).collect())
-        .collect();
+    let centroids: Vec<Vec<f32>> =
+        (0..n_classes).map(|_| (0..dim).map(|_| normal.sample(rng)).collect()).collect();
     let mut out = DenseMatrix::zeros(labels.len(), dim);
     for (v, &y) in labels.iter().enumerate() {
         let row = out.row_mut(v);

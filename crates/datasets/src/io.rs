@@ -37,9 +37,7 @@ pub fn dataset_to_text(d: &Dataset) -> String {
     for (u, v) in d.graph.edges() {
         let _ = writeln!(out, "edge {u} {v}");
     }
-    for (tag, ids) in
-        [("train", &d.split.train), ("val", &d.split.val), ("test", &d.split.test)]
-    {
+    for (tag, ids) in [("train", &d.split.train), ("val", &d.split.val), ("test", &d.split.test)] {
         let _ = write!(out, "split {tag}");
         for id in ids {
             let _ = write!(out, " {id}");
@@ -153,10 +151,7 @@ mod tests {
         let back = dataset_from_text(&text).unwrap();
         assert_eq!(back.name(), d.name());
         assert_eq!(back.n_nodes(), d.n_nodes());
-        assert_eq!(
-            back.graph.edges().collect::<Vec<_>>(),
-            d.graph.edges().collect::<Vec<_>>()
-        );
+        assert_eq!(back.graph.edges().collect::<Vec<_>>(), d.graph.edges().collect::<Vec<_>>());
         assert_eq!(back.labels(), d.labels());
         assert_eq!(back.split, d.split);
         // f32 text roundtrip is exact with Rust's shortest-representation

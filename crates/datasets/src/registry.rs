@@ -457,10 +457,7 @@ pub fn replica(name: &str, scale: ReplicaScale, seed: u64) -> Dataset {
 
 /// Generates all 14 replicas.
 pub fn all_replicas(scale: ReplicaScale, seed: u64) -> Vec<Dataset> {
-    all_specs()
-        .into_iter()
-        .map(|s| Dataset::generate(s, scale, seed))
-        .collect()
+    all_specs().into_iter().map(|s| Dataset::generate(s, scale, seed)).collect()
 }
 
 /// Dataset names of the Table III (Score < 0.5, homophilous) group.
@@ -517,10 +514,7 @@ mod tests {
             let d = replica(name, ReplicaScale::default(), 1);
             let h = edge_homophily(d.graph.adjacency(), d.labels());
             let target = d.spec.edge_homophily;
-            assert!(
-                (h - target).abs() < 0.08,
-                "{name}: target {target}, achieved {h}"
-            );
+            assert!((h - target).abs() < 0.08, "{name}: target {target}, achieved {h}");
         }
     }
 

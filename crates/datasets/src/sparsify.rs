@@ -89,10 +89,8 @@ mod tests {
                     && masked.features.row(v).iter().all(|&x| x == 0.0)
             })
             .count();
-        let nonzero_before = non_train
-            .iter()
-            .filter(|&&v| d.features.row(v).iter().any(|&x| x != 0.0))
-            .count();
+        let nonzero_before =
+            non_train.iter().filter(|&&v| d.features.row(v).iter().any(|&x| x != 0.0)).count();
         let frac = changed as f64 / nonzero_before as f64;
         assert!((frac - 0.5).abs() < 0.1, "masked fraction {frac}");
     }

@@ -74,10 +74,7 @@ impl Split {
                 Split { train: train_set, val: val_set, test: test_set }
             }
             SplitSpec::Fractions { train, val, test } => {
-                assert!(
-                    train + val + test <= 1.0 + 1e-9,
-                    "split fractions must sum to at most 1"
-                );
+                assert!(train + val + test <= 1.0 + 1e-9, "split fractions must sum to at most 1");
                 let mut order: Vec<usize> = (0..n).collect();
                 order.shuffle(rng);
                 let n_train = (train * n as f64).round() as usize;
@@ -104,11 +101,7 @@ impl Split {
     /// Checks the three sets are pairwise disjoint (debug assertion helper).
     pub fn is_disjoint(&self) -> bool {
         let mut seen = std::collections::HashSet::new();
-        self.train
-            .iter()
-            .chain(&self.val)
-            .chain(&self.test)
-            .all(|&v| seen.insert(v))
+        self.train.iter().chain(&self.val).chain(&self.test).all(|&v| seen.insert(v))
     }
 
     /// Restricts training labels to the first `k` nodes of each class —
@@ -211,11 +204,7 @@ mod tests {
     fn oversized_counts_panic() {
         let mut rng = rand::rngs::StdRng::seed_from_u64(4);
         let labels = labels(10, 2);
-        let _ = Split::generate(
-            SplitSpec::Counts { train: 8, val: 8, test: 8 },
-            &labels,
-            2,
-            &mut rng,
-        );
+        let _ =
+            Split::generate(SplitSpec::Counts { train: 8, val: 8, test: 8 }, &labels, 2, &mut rng);
     }
 }

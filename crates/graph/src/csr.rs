@@ -89,7 +89,13 @@ impl CsrMatrix {
 
     /// An empty (all-zero) matrix.
     pub fn zeros(n_rows: usize, n_cols: usize) -> Self {
-        Self { n_rows, n_cols, row_ptr: vec![0; n_rows + 1], col_idx: Vec::new(), values: Vec::new() }
+        Self {
+            n_rows,
+            n_cols,
+            row_ptr: vec![0; n_rows + 1],
+            col_idx: Vec::new(),
+            values: Vec::new(),
+        }
     }
 
     pub fn n_rows(&self) -> usize {
@@ -118,10 +124,7 @@ impl CsrMatrix {
     /// Iterates `(row, col, value)` over all stored entries in row-major order.
     pub fn iter(&self) -> impl Iterator<Item = (usize, usize, f32)> + '_ {
         (0..self.n_rows).flat_map(move |r| {
-            self.row_cols(r)
-                .iter()
-                .zip(self.row_values(r))
-                .map(move |(&c, &v)| (r, c as usize, v))
+            self.row_cols(r).iter().zip(self.row_values(r)).map(move |(&c, &v)| (r, c as usize, v))
         })
     }
 
@@ -173,12 +176,12 @@ impl CsrMatrix {
     pub fn spmv(&self, x: &[f32], out: &mut [f32]) {
         assert_eq!(x.len(), self.n_cols, "spmv: x length mismatch");
         assert_eq!(out.len(), self.n_rows, "spmv: out length mismatch");
-        for r in 0..self.n_rows {
+        for (r, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0f32;
             for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
                 acc += v * x[c as usize];
             }
-            out[r] = acc;
+            *o = acc;
         }
     }
 
@@ -193,6 +196,11 @@ impl CsrMatrix {
     pub fn spmm(&self, x: &[f32], x_cols: usize, out: &mut [f32]) {
         assert_eq!(x.len(), self.n_cols * x_cols, "spmm: X shape mismatch");
         assert_eq!(out.len(), self.n_rows * x_cols, "spmm: out shape mismatch");
+        debug_assert!(
+            self.values.iter().all(|v| v.is_finite()),
+            "spmm: non-finite edge weight in operator"
+        );
+        debug_assert!(x.iter().all(|v| v.is_finite()), "spmm: non-finite input entry");
         out.fill(0.0);
         for r in 0..self.n_rows {
             let out_row = &mut out[r * x_cols..(r + 1) * x_cols];
@@ -305,19 +313,15 @@ impl CsrMatrix {
     /// Panics if the matrix is not square.
     pub fn with_self_loops(&self, w: f32) -> CsrMatrix {
         assert_eq!(self.n_rows, self.n_cols, "self-loops require a square matrix");
-        let triplets = self
-            .iter()
-            .filter(|&(r, c, _)| r != c)
-            .chain((0..self.n_rows).map(|i| (i, i, w)));
+        let triplets =
+            self.iter().filter(|&(r, c, _)| r != c).chain((0..self.n_rows).map(|i| (i, i, w)));
         CsrMatrix::from_coo(self.n_rows, self.n_cols, triplets)
             .expect("entries of a valid matrix remain in bounds")
     }
 
     /// Row sums (weighted out-degrees for an adjacency matrix).
     pub fn row_sums(&self) -> Vec<f32> {
-        (0..self.n_rows)
-            .map(|r| self.row_values(r).iter().sum())
-            .collect()
+        (0..self.n_rows).map(|r| self.row_values(r).iter().sum()).collect()
     }
 
     /// Column sums (weighted in-degrees for an adjacency matrix).
@@ -333,8 +337,7 @@ impl CsrMatrix {
     pub fn scale_rows(&self, scale: &[f32]) -> CsrMatrix {
         assert_eq!(scale.len(), self.n_rows, "scale_rows: length mismatch");
         let mut out = self.clone();
-        for r in 0..self.n_rows {
-            let s = scale[r];
+        for (r, &s) in scale.iter().enumerate() {
             for v in &mut out.values[out.row_ptr[r]..out.row_ptr[r + 1]] {
                 *v *= s;
             }
@@ -364,14 +367,10 @@ impl CsrMatrix {
     pub fn normalized(&self, r: f32) -> CsrMatrix {
         let row_deg = self.row_sums();
         let col_deg = self.col_sums();
-        let row_scale: Vec<f32> = row_deg
-            .iter()
-            .map(|&d| if d > 0.0 { d.powf(r - 1.0) } else { 0.0 })
-            .collect();
-        let col_scale: Vec<f32> = col_deg
-            .iter()
-            .map(|&d| if d > 0.0 { d.powf(-r) } else { 0.0 })
-            .collect();
+        let row_scale: Vec<f32> =
+            row_deg.iter().map(|&d| if d > 0.0 { d.powf(r - 1.0) } else { 0.0 }).collect();
+        let col_scale: Vec<f32> =
+            col_deg.iter().map(|&d| if d > 0.0 { d.powf(-r) } else { 0.0 }).collect();
         self.scale_rows(&row_scale).scale_cols(&col_scale)
     }
 

@@ -78,10 +78,7 @@ impl DiGraph {
     /// operation the paper argues is applied too indiscriminately (Sec. I,
     /// L2). Labels are preserved.
     pub fn to_undirected(&self) -> DiGraph {
-        let adj = self
-            .adj
-            .bool_union(&self.adj.transpose())
-            .expect("A and Aᵀ share a shape");
+        let adj = self.adj.bool_union(&self.adj.transpose()).expect("A and Aᵀ share a shape");
         DiGraph { adj, labels: self.labels.clone(), n_classes: self.n_classes }
     }
 
@@ -97,11 +94,7 @@ impl DiGraph {
             return 0.0;
         }
         let t = self.adj.transpose();
-        let recip = self
-            .adj
-            .iter()
-            .filter(|&(u, v, _)| t.get(u, v) != 0.0)
-            .count();
+        let recip = self.adj.iter().filter(|&(u, v, _)| t.get(u, v) != 0.0).count();
         recip as f64 / self.n_edges() as f64
     }
 
@@ -141,9 +134,9 @@ impl DiGraph {
     /// Returns a copy with a subset of edges removed, keeping each edge with
     /// probability decided by `keep`. Used by the Fig. 7 edge-sparsity
     /// stressor.
-    pub fn filter_edges(&self, mut keep: impl FnMut(usize, usize) -> bool) -> DiGraph {
+    pub fn filter_edges(&self, keep: impl FnMut(usize, usize) -> bool) -> DiGraph {
         DiGraph {
-            adj: self.adj.filter_entries(|u, v| keep(u, v)),
+            adj: self.adj.filter_entries(keep),
             labels: self.labels.clone(),
             n_classes: self.n_classes,
         }

@@ -55,8 +55,7 @@ pub fn gnm_random<R: Rng>(n: usize, m: usize, rng: &mut R) -> DiGraph {
 
 /// A directed cycle 0 → 1 → … → n-1 → 0. Deterministic; handy in tests.
 pub fn directed_cycle(n: usize) -> DiGraph {
-    DiGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n)))
-        .expect("cycle edges are in bounds")
+    DiGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("cycle edges are in bounds")
 }
 
 /// A star with `n - 1` leaves, all edges pointing away from the hub (node 0).

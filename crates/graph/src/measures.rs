@@ -188,13 +188,10 @@ mod tests {
     /// Two triangles of uniform class, bridged by one cross edge: strongly
     /// homophilous.
     fn homophilous() -> DiGraph {
-        DiGraph::from_edges(
-            6,
-            vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)],
-        )
-        .unwrap()
-        .with_labels(vec![0, 0, 0, 1, 1, 1], 2)
-        .unwrap()
+        DiGraph::from_edges(6, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 5), (5, 3), (0, 3)])
+            .unwrap()
+            .with_labels(vec![0, 0, 0, 1, 1, 1], 2)
+            .unwrap()
     }
 
     /// Perfect bipartite-style heterophily: every edge crosses classes.

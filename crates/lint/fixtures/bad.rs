@@ -1,0 +1,7 @@
+//! Lint fixture: a file that must FAIL `amud-lint` in explicit-file mode
+//! (zero budgets). Kept out of the workspace scan — `fixtures/` directories
+//! are excluded — and exercised by `ci.sh` to prove the harness still bites.
+
+pub fn first(xs: &[u32]) -> u32 {
+    *xs.first().unwrap()
+}

@@ -1,0 +1,422 @@
+//! Workspace lint harness (std-only, no syn): line-oriented static checks
+//! enforcing the repo's reliability conventions on non-test library code.
+//!
+//! Rules:
+//!
+//! 1. **unwrap/expect ratchet** — `.unwrap()` / `.expect(...)` calls in
+//!    library source are budgeted per file by `lint-allow.txt` at the
+//!    workspace root. New calls beyond a file's budget fail the lint; when
+//!    a file drops below its budget the harness asks for the allowlist to
+//!    be ratcheted down (`--bless` rewrites it).
+//! 2. **kernel panic ban** — no `panic!`, `todo!` or `unimplemented!` in
+//!    `amud-nn` / `amud-graph` non-test code: the numeric kernels must
+//!    report through `Result` or documented `expect` invariants.
+//!    (`unreachable!` with a justification message is allowed.)
+//! 3. **SAFETY comments** — every `unsafe` keyword must be introduced by a
+//!    `// SAFETY:` comment on the same or the preceding line.
+//! 4. **doc coverage** — every `pub` item in `amud-core` (the crate other
+//!    people read first) carries a doc comment.
+//!
+//! The scanner is deliberately simple: files are processed line by line,
+//! `//` comments are stripped before token matching, and everything from
+//! the first `#[cfg(test)]` to the end of the file is ignored (the
+//! workspace convention keeps test modules last in the file). That
+//! heuristic is what makes a std-only linter feasible; it is checked by
+//! the fixtures in this crate's tests.
+
+use std::collections::BTreeMap;
+use std::fmt;
+
+/// Which rule a violation belongs to.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum RuleKind {
+    UnwrapRatchet,
+    PanicInKernel,
+    MissingSafetyComment,
+    UndocumentedPublicItem,
+}
+
+impl RuleKind {
+    pub fn name(self) -> &'static str {
+        match self {
+            RuleKind::UnwrapRatchet => "unwrap-ratchet",
+            RuleKind::PanicInKernel => "panic-in-kernel",
+            RuleKind::MissingSafetyComment => "missing-safety-comment",
+            RuleKind::UndocumentedPublicItem => "undocumented-public-item",
+        }
+    }
+}
+
+/// One finding, anchored to a file and 1-based line.
+#[derive(Debug, Clone)]
+pub struct Violation {
+    pub file: String,
+    pub line: usize,
+    pub rule: RuleKind,
+    pub message: String,
+}
+
+impl fmt::Display for Violation {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.name(), self.message)
+    }
+}
+
+/// Which rule set applies to a file, derived from its workspace path.
+#[derive(Debug, Clone, Copy, Default)]
+pub struct FileRules {
+    /// Ban `panic!`/`todo!`/`unimplemented!` (numeric kernel crates).
+    pub forbid_panic: bool,
+    /// Require doc comments on `pub` items (the flagship API crate).
+    pub require_docs: bool,
+}
+
+/// Rule set for a workspace-relative path.
+pub fn rules_for(path: &str) -> FileRules {
+    FileRules {
+        forbid_panic: path.starts_with("crates/nn/src/") || path.starts_with("crates/graph/src/"),
+        require_docs: path.starts_with("crates/core/src/"),
+    }
+}
+
+/// Per-file unwrap/expect budget, keyed by workspace-relative path.
+#[derive(Debug, Clone, Default)]
+pub struct Allowlist {
+    budgets: BTreeMap<String, usize>,
+}
+
+impl Allowlist {
+    /// Parses `lint-allow.txt`: `#` comments, blank lines, and
+    /// `<path> <count>` entries.
+    pub fn parse(text: &str) -> Result<Self, String> {
+        let mut budgets = BTreeMap::new();
+        for (i, line) in text.lines().enumerate() {
+            let line = line.trim();
+            if line.is_empty() || line.starts_with('#') {
+                continue;
+            }
+            let mut parts = line.split_whitespace();
+            let (path, count) = match (parts.next(), parts.next(), parts.next()) {
+                (Some(p), Some(c), None) => (p, c),
+                _ => return Err(format!("line {}: expected `<path> <count>`", i + 1)),
+            };
+            let count: usize =
+                count.parse().map_err(|_| format!("line {}: `{count}` is not a count", i + 1))?;
+            budgets.insert(path.to_string(), count);
+        }
+        Ok(Self { budgets })
+    }
+
+    /// The unwrap/expect budget for a file (0 when unlisted).
+    pub fn budget(&self, path: &str) -> usize {
+        self.budgets.get(path).copied().unwrap_or(0)
+    }
+
+    /// All allowlisted paths (for stale-entry reporting).
+    pub fn paths(&self) -> impl Iterator<Item = (&str, usize)> {
+        self.budgets.iter().map(|(p, &c)| (p.as_str(), c))
+    }
+
+    /// Renders an allowlist file from per-file counts (used by `--bless`).
+    pub fn render(counts: &BTreeMap<String, usize>) -> String {
+        let mut out = String::from(
+            "# unwrap/expect budget per file (non-test code), enforced by `cargo run -p amud-lint`.\n\
+             # Ratchet DOWN only: fix call sites, then regenerate with `cargo run -p amud-lint -- --bless`.\n",
+        );
+        for (path, count) in counts {
+            if *count > 0 {
+                out.push_str(&format!("{path} {count}\n"));
+            }
+        }
+        out
+    }
+}
+
+/// What the scanner found in one file.
+#[derive(Debug, Clone, Default)]
+pub struct FileReport {
+    /// Rule 2–4 findings (rule 1 is resolved against the allowlist later).
+    pub violations: Vec<Violation>,
+    /// Non-test `.unwrap()` + `.expect(` call count (rule 1 input).
+    pub unwrap_count: usize,
+    /// Lines (1-based) of the unwrap/expect calls, for reporting overruns.
+    pub unwrap_lines: Vec<usize>,
+}
+
+/// Returns the line with `//` comments removed and string-literal contents
+/// blanked (the quotes stay), so tokens inside either never match a rule —
+/// including in this linter's own source.
+fn code_only(line: &str) -> String {
+    let bytes = line.as_bytes();
+    let mut out = String::with_capacity(line.len());
+    let mut in_str = false;
+    let mut i = 0;
+    while i < bytes.len() {
+        let b = bytes[i];
+        match b {
+            b'\\' if in_str => i += 1, // skip the escaped byte
+            b'"' => {
+                in_str = !in_str;
+                out.push('"');
+            }
+            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
+            _ if !in_str => out.push(b as char),
+            _ => {}
+        }
+        i += 1;
+    }
+    out
+}
+
+fn is_doc_or_attr(trimmed: &str) -> bool {
+    trimmed.starts_with("///") || trimmed.starts_with("#[") || trimmed.starts_with("#!")
+}
+
+/// True when the trimmed line declares a `pub` item that needs a doc
+/// comment (re-exports and restricted visibility are out of scope).
+fn is_pub_item(trimmed: &str) -> bool {
+    if !trimmed.starts_with("pub ") || trimmed.starts_with("pub use ") {
+        return false;
+    }
+    let rest = &trimmed[4..];
+    ["fn ", "struct ", "enum ", "trait ", "type ", "const ", "static ", "mod "]
+        .iter()
+        .any(|kw| rest.starts_with(kw))
+}
+
+/// Scans one file. `path` is the workspace-relative path (used both for
+/// reporting and for selecting the rule set via [`rules_for`]).
+pub fn lint_source(path: &str, source: &str) -> FileReport {
+    let rules = rules_for(path);
+    let mut report = FileReport::default();
+    let lines: Vec<&str> = source.lines().collect();
+
+    // Everything from the first `#[cfg(test)]` onward is test code by
+    // workspace convention (test modules close the file).
+    let code_end = lines
+        .iter()
+        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
+        .unwrap_or(lines.len());
+
+    for (idx, raw) in lines[..code_end].iter().enumerate() {
+        let line_no = idx + 1;
+        let code = code_only(raw);
+        let trimmed = code.trim_start();
+
+        // Rule 1: unwrap/expect counting.
+        let hits = code.matches(".unwrap()").count() + code.matches(".expect(").count();
+        if hits > 0 {
+            report.unwrap_count += hits;
+            report.unwrap_lines.push(line_no);
+        }
+
+        // Rule 2: kernel panic ban.
+        if rules.forbid_panic {
+            for mac in ["panic!", "todo!", "unimplemented!"] {
+                if code.contains(mac) {
+                    report.violations.push(Violation {
+                        file: path.to_string(),
+                        line: line_no,
+                        rule: RuleKind::PanicInKernel,
+                        message: format!(
+                            "`{mac}` in a kernel crate — return a Result or document the invariant with expect()"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 3: SAFETY comments. The comment may sit on the same line or
+        // the line above (checked on the raw text, since it *is* a comment).
+        if code.contains("unsafe") {
+            let here = raw.contains("// SAFETY:");
+            let above = idx > 0 && lines[idx - 1].trim_start().starts_with("// SAFETY:");
+            if !here && !above {
+                report.violations.push(Violation {
+                    file: path.to_string(),
+                    line: line_no,
+                    rule: RuleKind::MissingSafetyComment,
+                    message: "`unsafe` without a `// SAFETY:` comment on this or the previous line"
+                        .into(),
+                });
+            }
+        }
+
+        // Rule 4: doc coverage.
+        if rules.require_docs && is_pub_item(trimmed) {
+            let mut j = idx;
+            let mut documented = false;
+            while j > 0 {
+                let prev = lines[j - 1].trim_start();
+                if prev.starts_with("///") {
+                    documented = true;
+                    break;
+                }
+                if is_doc_or_attr(prev) {
+                    j -= 1; // skip attribute lines between doc and item
+                    continue;
+                }
+                break;
+            }
+            if !documented {
+                report.violations.push(Violation {
+                    file: path.to_string(),
+                    line: line_no,
+                    rule: RuleKind::UndocumentedPublicItem,
+                    message: format!(
+                        "public item `{}` has no doc comment",
+                        trimmed.split('{').next().unwrap_or(trimmed).trim()
+                    ),
+                });
+            }
+        }
+    }
+    report
+}
+
+/// Resolves rule 1 for one file against the allowlist: an overrun is a
+/// violation; headroom is returned as a ratchet opportunity.
+pub fn resolve_ratchet(
+    path: &str,
+    report: &FileReport,
+    allow: &Allowlist,
+) -> (Option<Violation>, Option<String>) {
+    let budget = allow.budget(path);
+    if report.unwrap_count > budget {
+        let line = report.unwrap_lines.last().copied().unwrap_or(0);
+        (
+            Some(Violation {
+                file: path.to_string(),
+                line,
+                rule: RuleKind::UnwrapRatchet,
+                message: format!(
+                    "{} unwrap/expect call(s) but the allowlist budget is {budget} — \
+                     handle the error or move the budget with a justification",
+                    report.unwrap_count
+                ),
+            }),
+            None,
+        )
+    } else if report.unwrap_count < budget {
+        (
+            None,
+            Some(format!(
+                "{path}: {} unwrap/expect call(s) under a budget of {budget} — ratchet down \
+                 (`cargo run -p amud-lint -- --bless`)",
+                report.unwrap_count
+            )),
+        )
+    } else {
+        (None, None)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    const KERNEL_PATH: &str = "crates/nn/src/fixture.rs";
+    const CORE_PATH: &str = "crates/core/src/fixture.rs";
+    const PLAIN_PATH: &str = "crates/train/src/fixture.rs";
+
+    #[test]
+    fn counts_unwrap_and_expect_outside_tests() {
+        let src = "fn f() {\n    x.unwrap();\n    y.expect(\"reason\");\n}\n\
+                   #[cfg(test)]\nmod tests {\n    fn g() { z.unwrap(); }\n}\n";
+        let report = lint_source(PLAIN_PATH, src);
+        assert_eq!(report.unwrap_count, 2, "test-module unwrap must not count");
+        assert_eq!(report.unwrap_lines, vec![2, 3]);
+    }
+
+    #[test]
+    fn comments_and_strings_do_not_count_as_calls() {
+        let src = "fn f() {\n    // don't .unwrap() here\n    let s = \"https://x\"; g();\n    let t = \"never .unwrap() or panic! in strings\";\n}\n";
+        let report = lint_source(PLAIN_PATH, src);
+        assert_eq!(report.unwrap_count, 0);
+        assert!(lint_source(KERNEL_PATH, src).violations.is_empty());
+    }
+
+    #[test]
+    fn ratchet_flags_overrun_and_reports_headroom() {
+        let allow = Allowlist::parse(&format!("{PLAIN_PATH} 1\n")).unwrap();
+        let over = lint_source(PLAIN_PATH, "fn f() { a.unwrap(); b.unwrap(); }\n");
+        let (violation, note) = resolve_ratchet(PLAIN_PATH, &over, &allow);
+        let v = violation.expect("overrun must fail");
+        assert_eq!(v.rule, RuleKind::UnwrapRatchet);
+        assert!(note.is_none());
+
+        let under = lint_source(PLAIN_PATH, "fn f() {}\n");
+        let (violation, note) = resolve_ratchet(PLAIN_PATH, &under, &allow);
+        assert!(violation.is_none());
+        assert!(note.expect("headroom must ask for a ratchet").contains("ratchet down"));
+    }
+
+    #[test]
+    fn unlisted_file_has_zero_budget() {
+        let allow = Allowlist::default();
+        let report = lint_source(PLAIN_PATH, "fn f() { a.unwrap(); }\n");
+        let (violation, _) = resolve_ratchet(PLAIN_PATH, &report, &allow);
+        assert!(violation.is_some(), "a new unwrap in a clean file must fail");
+    }
+
+    #[test]
+    fn panic_banned_only_in_kernel_crates() {
+        let src = "fn f() {\n    panic!(\"boom\");\n}\n";
+        let kernel = lint_source(KERNEL_PATH, src);
+        assert_eq!(kernel.violations.len(), 1);
+        assert_eq!(kernel.violations[0].rule, RuleKind::PanicInKernel);
+        assert_eq!(kernel.violations[0].line, 2);
+
+        let plain = lint_source(PLAIN_PATH, src);
+        assert!(plain.violations.is_empty(), "panic rule is kernel-crate-only");
+    }
+
+    #[test]
+    fn unreachable_with_message_is_allowed_in_kernels() {
+        let src = "fn f() {\n    unreachable!(\"loop invariant\");\n}\n";
+        assert!(lint_source(KERNEL_PATH, src).violations.is_empty());
+    }
+
+    #[test]
+    fn unsafe_requires_safety_comment() {
+        let bad = "fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
+        let report = lint_source(PLAIN_PATH, bad);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, RuleKind::MissingSafetyComment);
+
+        let good = "fn f() {\n    // SAFETY: guarded by the bounds check above\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
+        assert!(lint_source(PLAIN_PATH, good).violations.is_empty());
+    }
+
+    #[test]
+    fn core_pub_items_need_docs() {
+        let bad = "pub fn naked() {}\n";
+        let report = lint_source(CORE_PATH, bad);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, RuleKind::UndocumentedPublicItem);
+
+        let good = "/// Documented.\n#[derive(Debug)]\npub struct S;\n";
+        assert!(lint_source(CORE_PATH, good).violations.is_empty());
+
+        let other_crate = lint_source(PLAIN_PATH, bad);
+        assert!(other_crate.violations.is_empty(), "doc rule is amud-core-only");
+    }
+
+    #[test]
+    fn pub_use_and_restricted_visibility_are_exempt() {
+        let src = "pub use crate::thing::Thing;\npub(crate) fn helper() {}\n";
+        assert!(lint_source(CORE_PATH, src).violations.is_empty());
+    }
+
+    #[test]
+    fn allowlist_round_trips() {
+        let mut counts = BTreeMap::new();
+        counts.insert("a.rs".to_string(), 3);
+        counts.insert("b.rs".to_string(), 0); // dropped: clean files stay unlisted
+        let text = Allowlist::render(&counts);
+        let allow = Allowlist::parse(&text).unwrap();
+        assert_eq!(allow.budget("a.rs"), 3);
+        assert_eq!(allow.budget("b.rs"), 0);
+        assert!(Allowlist::parse("nonsense line\n").is_err());
+    }
+}

@@ -1,0 +1,168 @@
+//! `cargo run -p amud-lint` — workspace lint harness.
+//!
+//! Scans every library source file (`crates/*/src/**`, `src/**`) with the
+//! rules in [`amud_lint`], resolves the unwrap/expect ratchet against
+//! `lint-allow.txt` at the workspace root, and exits non-zero on any
+//! violation.
+//!
+//! ```text
+//! cargo run -p amud-lint              # check
+//! cargo run -p amud-lint -- --bless   # rewrite lint-allow.txt with current counts
+//! cargo run -p amud-lint -- FILE...   # lint specific files (zero budgets)
+//! ```
+
+use amud_lint::{lint_source, resolve_ratchet, Allowlist, Violation};
+use std::collections::BTreeMap;
+use std::path::{Path, PathBuf};
+
+/// Workspace root: two levels above this crate's manifest.
+fn workspace_root() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR"))
+        .ancestors()
+        .nth(2)
+        .expect("crates/lint sits two levels under the workspace root")
+        .to_path_buf()
+}
+
+fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
+    let entries = match std::fs::read_dir(dir) {
+        Ok(e) => e,
+        Err(_) => return,
+    };
+    for entry in entries.flatten() {
+        let path = entry.path();
+        let name = entry.file_name();
+        let name = name.to_string_lossy();
+        if path.is_dir() {
+            // Fixture corpora inside a crate are lint subjects' test data,
+            // not workspace code.
+            if name != "fixtures" {
+                collect_rs_files(&path, out);
+            }
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+}
+
+/// Library sources: every workspace crate's `src/` tree plus the root
+/// package's `src/` (bins included — they ship). Tests, examples and
+/// benches are not hot paths and stay unscanned.
+fn workspace_sources(root: &Path) -> Vec<PathBuf> {
+    let mut files = Vec::new();
+    if let Ok(entries) = std::fs::read_dir(root.join("crates")) {
+        let mut crates: Vec<PathBuf> = entries.flatten().map(|e| e.path()).collect();
+        // crates/compat holds its stub crates one level deeper.
+        if let Ok(compat) = std::fs::read_dir(root.join("crates").join("compat")) {
+            crates.extend(compat.flatten().map(|e| e.path()));
+        }
+        crates.sort();
+        for krate in crates {
+            collect_rs_files(&krate.join("src"), &mut files);
+        }
+    }
+    collect_rs_files(&root.join("src"), &mut files);
+    files.sort();
+    files
+}
+
+fn rel(root: &Path, path: &Path) -> String {
+    path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let bless = args.iter().any(|a| a == "--bless");
+    if let Some(flag) = args.iter().find(|a| a.starts_with("--") && *a != "--bless") {
+        eprintln!("error: unknown flag '{flag}' (only --bless is recognised)");
+        std::process::exit(2);
+    }
+    let explicit: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+
+    let root = workspace_root();
+    let allow_path = root.join("lint-allow.txt");
+
+    // Explicit files are linted against zero budgets — the mode the lint
+    // fixtures and pre-commit hooks use.
+    let (files, allow) = if explicit.is_empty() {
+        let allow = match std::fs::read_to_string(&allow_path) {
+            Ok(text) => match Allowlist::parse(&text) {
+                Ok(a) => a,
+                Err(e) => {
+                    eprintln!("error: lint-allow.txt: {e}");
+                    std::process::exit(2);
+                }
+            },
+            Err(_) => Allowlist::default(),
+        };
+        (workspace_sources(&root), allow)
+    } else {
+        (explicit.iter().map(PathBuf::from).collect(), Allowlist::default())
+    };
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut notes: Vec<String> = Vec::new();
+    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
+    let mut scanned = 0usize;
+
+    for path in &files {
+        let label = rel(&root, path);
+        let source = match std::fs::read_to_string(path) {
+            Ok(s) => s,
+            Err(e) => {
+                eprintln!("error: cannot read {label}: {e}");
+                std::process::exit(2);
+            }
+        };
+        scanned += 1;
+        let report = lint_source(&label, &source);
+        counts.insert(label.clone(), report.unwrap_count);
+        violations.extend(report.violations.iter().cloned());
+        let (overrun, note) = resolve_ratchet(&label, &report, &allow);
+        violations.extend(overrun);
+        notes.extend(note);
+    }
+
+    // Stale allowlist entries point at deleted/renamed files; surface them
+    // so the budget cannot silently migrate.
+    for (path, budget) in allow.paths() {
+        if !counts.contains_key(path) {
+            notes.push(format!(
+                "{path}: allowlisted ({budget}) but no longer scanned — remove the entry"
+            ));
+        }
+    }
+
+    if bless {
+        let text = Allowlist::render(&counts);
+        if let Err(e) = std::fs::write(&allow_path, text) {
+            eprintln!("error: cannot write {}: {e}", allow_path.display());
+            std::process::exit(2);
+        }
+        println!(
+            "blessed {} ({} files, {} budgeted)",
+            allow_path.display(),
+            scanned,
+            counts.values().filter(|&&c| c > 0).count()
+        );
+        return;
+    }
+
+    for v in &violations {
+        println!("{v}");
+    }
+    for n in &notes {
+        println!("note: {n}");
+    }
+    let budget_total: usize = counts.values().sum();
+    println!(
+        "amud-lint: {} file(s), {} violation(s), {} ratchet note(s), {} unwrap/expect call(s) budgeted",
+        scanned,
+        violations.len(),
+        notes.len(),
+        budget_total
+    );
+    if !violations.is_empty() {
+        std::process::exit(1);
+    }
+}

@@ -31,10 +31,7 @@ impl A2dug {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = data.n_nodes();
         let f = data.n_features();
-        let und = data
-            .adj
-            .bool_union(&data.adj.transpose())
-            .expect("A and Aᵀ share a shape");
+        let und = data.adj.bool_union(&data.adj.transpose()).expect("A and Aᵀ share a shape");
         let op_u = gcn_operator(&und);
         let (op_out, op_in) = in_out_operators(&data.adj);
         let propagate = |op: &SparseOp| {
@@ -49,9 +46,8 @@ impl A2dug {
             SparseOp::new(data.adj.transpose()),
         ];
         let mut bank = ParamBank::new();
-        let adj_weights = (0..3)
-            .map(|_| bank.add(DenseMatrix::xavier_uniform(n, hidden, &mut rng)))
-            .collect();
+        let adj_weights =
+            (0..3).map(|_| bank.add(DenseMatrix::xavier_uniform(n, hidden, &mut rng))).collect();
         let x_encoder = Linear::new(&mut bank, f, hidden, &mut rng);
         let agg_encoders = (0..3).map(|_| Linear::new(&mut bank, f, hidden, &mut rng)).collect();
         // 1 feature + 3 aggregated + 3 adjacency encodings.

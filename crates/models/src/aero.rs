@@ -27,13 +27,8 @@ impl AeroGnn {
         assert!(k >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut bank = ParamBank::new();
-        let encoder = Mlp::new(
-            &mut bank,
-            &[data.n_features(), hidden],
-            Activation::Relu,
-            dropout,
-            &mut rng,
-        );
+        let encoder =
+            Mlp::new(&mut bank, &[data.n_features(), hidden], Activation::Relu, dropout, &mut rng);
         let hop_scorer = Linear::new(&mut bank, (k + 1) * hidden, k + 1, &mut rng);
         let head = Linear::new(&mut bank, hidden, data.n_classes, &mut rng);
         Self { bank, op: gcn_operator(&data.adj), encoder, hop_scorer, head, k }

@@ -21,7 +21,14 @@ pub struct Appnp {
 }
 
 impl Appnp {
-    pub fn new(data: &GraphData, hidden: usize, k: usize, alpha: f32, dropout: f32, seed: u64) -> Self {
+    pub fn new(
+        data: &GraphData,
+        hidden: usize,
+        k: usize,
+        alpha: f32,
+        dropout: f32,
+        seed: u64,
+    ) -> Self {
         assert!((0.0..=1.0).contains(&alpha), "teleport must be a probability");
         let mut rng = StdRng::seed_from_u64(seed);
         let mut bank = ParamBank::new();

@@ -66,8 +66,8 @@ pub fn bernstein_basis(op: &SparseOp, x: &DenseMatrix, k_max: usize) -> Vec<Dens
         l_pow.push(apply_laplacian(op, &l_pow[v]));
     }
     let mut basis = Vec::with_capacity(k_max + 1);
-    for v in 0..=k_max {
-        let mut cur = l_pow[v].clone();
+    for (v, pow) in l_pow.iter().enumerate() {
+        let mut cur = pow.clone();
         for _ in 0..(k_max - v) {
             cur = apply_two_minus_laplacian(op, &cur);
         }

@@ -120,9 +120,8 @@ mod tests {
 
     #[test]
     fn digcn_operator_is_symmetric() {
-        let adj =
-            CsrMatrix::from_edges(5, 5, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 0), (0, 3)])
-                .unwrap();
+        let adj = CsrMatrix::from_edges(5, 5, vec![(0, 1), (1, 2), (2, 0), (3, 4), (4, 0), (0, 3)])
+            .unwrap();
         let op = digcn_operator(&adj, 0.1);
         for (u, v, w) in op.matrix().iter() {
             assert!(

@@ -29,19 +29,17 @@ impl DirGnn {
         let mut bank = ParamBank::new();
         let f = data.n_features();
         let h = hidden / 2;
-        let layer1 = (Linear::new(&mut bank, f, h, &mut rng), Linear::new(&mut bank, f, h, &mut rng));
-        let layer2 =
-            (Linear::new(&mut bank, 2 * h, h, &mut rng), Linear::new(&mut bank, 2 * h, h, &mut rng));
+        let layer1 =
+            (Linear::new(&mut bank, f, h, &mut rng), Linear::new(&mut bank, f, h, &mut rng));
+        let layer2 = (
+            Linear::new(&mut bank, 2 * h, h, &mut rng),
+            Linear::new(&mut bank, 2 * h, h, &mut rng),
+        );
         let head = Linear::new(&mut bank, 2 * h, data.n_classes, &mut rng);
         Self { bank, op_out, op_in, layer1, layer2, head, dropout }
     }
 
-    fn dir_layer(
-        &self,
-        tape: &mut Tape,
-        x: NodeId,
-        (w_fwd, w_rev): &(Linear, Linear),
-    ) -> NodeId {
+    fn dir_layer(&self, tape: &mut Tape, x: NodeId, (w_fwd, w_rev): &(Linear, Linear)) -> NodeId {
         let fwd = tape.spmm(&self.op_out, x);
         let fwd = w_fwd.forward(tape, &self.bank, fwd);
         let rev = tape.spmm(&self.op_in, x);

@@ -19,7 +19,13 @@ struct GatLayer {
 }
 
 impl GatLayer {
-    fn new(bank: &mut ParamBank, in_dim: usize, out_dim: usize, n_heads: usize, rng: &mut StdRng) -> Self {
+    fn new(
+        bank: &mut ParamBank,
+        in_dim: usize,
+        out_dim: usize,
+        n_heads: usize,
+        rng: &mut StdRng,
+    ) -> Self {
         let heads = (0..n_heads)
             .map(|_| {
                 let w = Linear::new(bank, in_dim, out_dim, rng);

@@ -36,13 +36,8 @@ impl GloGnn {
         assert!(layers >= 1);
         let mut rng = StdRng::seed_from_u64(seed);
         let mut bank = ParamBank::new();
-        let encoder = Mlp::new(
-            &mut bank,
-            &[data.n_features(), hidden],
-            Activation::Relu,
-            dropout,
-            &mut rng,
-        );
+        let encoder =
+            Mlp::new(&mut bank, &[data.n_features(), hidden], Activation::Relu, dropout, &mut rng);
         let embed = Linear::new(&mut bank, hidden, rank, &mut rng);
         let head = Linear::new(&mut bank, hidden, data.n_classes, &mut rng);
         Self { bank, encoder, embed, head, gamma, layers }

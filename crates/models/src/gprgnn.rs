@@ -18,7 +18,14 @@ pub struct GprGnn {
 }
 
 impl GprGnn {
-    pub fn new(data: &GraphData, hidden: usize, k: usize, alpha: f32, dropout: f32, seed: u64) -> Self {
+    pub fn new(
+        data: &GraphData,
+        hidden: usize,
+        k: usize,
+        alpha: f32,
+        dropout: f32,
+        seed: u64,
+    ) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut bank = ParamBank::new();
         let encoder = Mlp::new(

@@ -19,10 +19,7 @@ fn hop_operators(adj: &CsrMatrix) -> (SparseOp, SparseOp) {
     // Exclusive 2-hop ring: drop pairs already adjacent.
     let one = one_hop.clone();
     let two_hop = two_raw.filter_entries(|u, v| one.get(u, v) == 0.0);
-    (
-        SparseOp::new(one_hop.sym_normalized()),
-        SparseOp::new(two_hop.sym_normalized()),
-    )
+    (SparseOp::new(one_hop.sym_normalized()), SparseOp::new(two_hop.sym_normalized()))
 }
 
 pub struct H2gcn {

@@ -106,15 +106,24 @@ mod tests {
         let hom = tiny_data("cora_ml", 49).to_undirected();
         let het = tiny_data("chameleon", 49).to_undirected();
         let acc_hom = label_propagation_accuracy(
-            &hom.adj, &hom.labels, &hom.train, &hom.test, hom.n_classes, 20, 0.2,
+            &hom.adj,
+            &hom.labels,
+            &hom.train,
+            &hom.test,
+            hom.n_classes,
+            20,
+            0.2,
         );
         let acc_het = label_propagation_accuracy(
-            &het.adj, &het.labels, &het.train, &het.test, het.n_classes, 20, 0.2,
+            &het.adj,
+            &het.labels,
+            &het.train,
+            &het.test,
+            het.n_classes,
+            20,
+            0.2,
         );
-        assert!(
-            acc_hom > acc_het + 0.1,
-            "LP should prefer homophily: {acc_hom} vs {acc_het}"
-        );
+        assert!(acc_hom > acc_het + 0.1, "LP should prefer homophily: {acc_hom} vs {acc_het}");
     }
 
     #[test]

@@ -6,7 +6,10 @@
 //! `MLP_A(A)`'s first layer is the sparse product `A · W_A` (`W_A ∈
 //! R^{n×h}`), recorded as an SpMM against a *parameter* right-hand side.
 
-use amud_nn::{linear::dropout_mask, Activation, DenseMatrix, Linear, Mlp, NodeId, ParamBank, ParamId, SparseOp, Tape};
+use amud_nn::{
+    linear::dropout_mask, Activation, DenseMatrix, Linear, Mlp, NodeId, ParamBank, ParamId,
+    SparseOp, Tape,
+};
 use amud_train::{GraphData, Model};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -27,22 +30,20 @@ impl Linkx {
         let mut rng = StdRng::seed_from_u64(seed);
         let mut bank = ParamBank::new();
         let w_adj = bank.add(DenseMatrix::xavier_uniform(data.n_nodes(), hidden, &mut rng));
-        let x_encoder = Mlp::new(
-            &mut bank,
-            &[data.n_features(), hidden],
-            Activation::Relu,
-            dropout,
-            &mut rng,
-        );
+        let x_encoder =
+            Mlp::new(&mut bank, &[data.n_features(), hidden], Activation::Relu, dropout, &mut rng);
         let fuse = Linear::new(&mut bank, 2 * hidden, hidden, &mut rng);
-        let head = Mlp::new(
-            &mut bank,
-            &[hidden, data.n_classes],
-            Activation::Relu,
+        let head =
+            Mlp::new(&mut bank, &[hidden, data.n_classes], Activation::Relu, dropout, &mut rng);
+        Self {
+            bank,
+            adj_op: SparseOp::new(data.adj.clone()),
+            w_adj,
+            x_encoder,
+            fuse,
+            head,
             dropout,
-            &mut rng,
-        );
-        Self { bank, adj_op: SparseOp::new(data.adj.clone()), w_adj, x_encoder, fuse, head, dropout }
+        }
     }
 }
 

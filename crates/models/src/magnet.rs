@@ -47,13 +47,7 @@ impl MagNet {
     /// linear maps and a part-wise ReLU (the original's `complexReLU`
     /// gates both parts on the real part's sign; part-wise ReLU keeps the
     /// gradient structure identical for our purposes).
-    fn conv(
-        &self,
-        tape: &mut Tape,
-        z: ComplexNode,
-        w_re: &Linear,
-        w_im: &Linear,
-    ) -> ComplexNode {
+    fn conv(&self, tape: &mut Tape, z: ComplexNode, w_re: &Linear, w_im: &Linear) -> ComplexNode {
         let hz = complex_spmm(tape, &self.op, z);
         let re = w_re.forward(tape, &self.bank, hz.re);
         let im = w_im.forward(tape, &self.bank, hz.im);

@@ -16,7 +16,11 @@ use rand::rngs::StdRng;
 use rand::SeedableRng;
 
 /// Applies the complex operator to a complex dense pair (plain arithmetic).
-fn complex_apply(op: &ComplexSparseOp, re: &DenseMatrix, im: &DenseMatrix) -> (DenseMatrix, DenseMatrix) {
+fn complex_apply(
+    op: &ComplexSparseOp,
+    re: &DenseMatrix,
+    im: &DenseMatrix,
+) -> (DenseMatrix, DenseMatrix) {
     let f = re.cols();
     let n = re.rows();
     let mut rr = DenseMatrix::zeros(n, f);

@@ -51,7 +51,7 @@ impl Model for MlpBaseline {
 
 #[cfg(test)]
 mod tests {
-    use crate::registry::tests_support::{tiny_data, quick_train};
+    use crate::registry::tests_support::{quick_train, tiny_data};
 
     #[test]
     fn mlp_trains_above_chance_when_features_carry_signal() {

@@ -6,9 +6,9 @@
 
 use crate::{
     a2dug::A2dug, aero::AeroGnn, appnp::Appnp, bernnet::BernNet, dgcn::Dgcn, digcn::DiGcn,
-    dimpa::Dimpa, dirgnn::DirGnn, gat::Gat, gcn::Gcn, glognn::GloGnn, gprgnn::GprGnn,
-    h2gcn::H2gcn, jacobi::JacobiConv, linkx::Linkx, magnet::MagNet, mgc::Mgc, mlp::MlpBaseline,
-    nste::Nste, sage::GraphSage, sgc::Sgc,
+    dimpa::Dimpa, dirgnn::DirGnn, gat::Gat, gcn::Gcn, glognn::GloGnn, gprgnn::GprGnn, h2gcn::H2gcn,
+    jacobi::JacobiConv, linkx::Linkx, magnet::MagNet, mgc::Mgc, mlp::MlpBaseline, nste::Nste,
+    sage::GraphSage, sgc::Sgc,
 };
 use amud_train::{GraphData, Model};
 

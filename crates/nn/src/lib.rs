@@ -37,8 +37,10 @@ pub mod linear;
 pub mod matrix;
 pub mod optim;
 pub mod tape;
+pub mod verify;
 
 pub use linear::{Activation, Linear, Mlp};
 pub use matrix::DenseMatrix;
 pub use optim::{Adam, Param, ParamBank, ParamId};
 pub use tape::{NodeId, SparseOp, Tape};
+pub use verify::{Diagnostic, GraphSpec, Rule, Severity, TapeVerifier};

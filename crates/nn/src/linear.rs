@@ -39,11 +39,7 @@ pub fn dropout_mask<R: Rng>(rng: &mut R, rows: usize, cols: usize, p: f32) -> Rc
     assert!((0.0..1.0).contains(&p), "dropout probability must be in [0, 1)");
     let keep = 1.0 - p;
     let scale = 1.0 / keep;
-    Rc::new(
-        (0..rows * cols)
-            .map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 })
-            .collect(),
-    )
+    Rc::new((0..rows * cols).map(|_| if rng.gen::<f32>() < keep { scale } else { 0.0 }).collect())
 }
 
 /// A fully connected layer `x · W + b`.
@@ -92,10 +88,7 @@ impl Mlp {
         rng: &mut R,
     ) -> Self {
         assert!(dims.len() >= 2, "MLP needs at least input and output dims");
-        let layers = dims
-            .windows(2)
-            .map(|w| Linear::new(bank, w[0], w[1], rng))
-            .collect();
+        let layers = dims.windows(2).map(|w| Linear::new(bank, w[0], w[1], rng)).collect();
         Self { layers, activation, dropout }
     }
 

@@ -105,6 +105,8 @@ impl DenseMatrix {
     /// Panics if `self.cols != other.rows`.
     pub fn matmul(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, other.rows, "matmul: inner dimensions differ");
+        debug_assert!(self.data.iter().all(|v| v.is_finite()), "matmul: non-finite lhs entry");
+        debug_assert!(other.data.iter().all(|v| v.is_finite()), "matmul: non-finite rhs entry");
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -125,6 +127,10 @@ impl DenseMatrix {
     /// `self · otherᵀ` — inner loop is a dot product of two contiguous rows.
     pub fn matmul_transb(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, other.cols, "matmul_transb: inner dimensions differ");
+        debug_assert!(
+            self.data.iter().chain(&other.data).all(|v| v.is_finite()),
+            "matmul_transb: non-finite operand entry"
+        );
         let mut out = DenseMatrix::zeros(self.rows, other.rows);
         for i in 0..self.rows {
             let a_row = self.row(i);
@@ -143,6 +149,10 @@ impl DenseMatrix {
     /// `selfᵀ · other` — accumulates rank-1 updates row by row.
     pub fn matmul_transa(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.rows, other.rows, "matmul_transa: inner dimensions differ");
+        debug_assert!(
+            self.data.iter().chain(&other.data).all(|v| v.is_finite()),
+            "matmul_transa: non-finite operand entry"
+        );
         let mut out = DenseMatrix::zeros(self.cols, other.cols);
         for k in 0..self.rows {
             let a_row = self.row(k);

@@ -122,15 +122,7 @@ pub struct Adam {
 
 impl Adam {
     pub fn new(lr: f32) -> Self {
-        Self {
-            lr,
-            beta1: 0.9,
-            beta2: 0.999,
-            eps: 1e-8,
-            weight_decay: 0.0,
-            clip_norm: None,
-            t: 0,
-        }
+        Self { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, weight_decay: 0.0, clip_norm: None, t: 0 }
     }
 
     pub fn with_weight_decay(mut self, wd: f32) -> Self {

@@ -57,30 +57,53 @@ impl SparseOp {
 enum Op {
     /// Constant or parameter leaf. If `param` is set, `apply_grads` flushes
     /// the accumulated gradient back to the bank.
-    Leaf { param: Option<ParamId> },
+    Leaf {
+        param: Option<ParamId>,
+    },
     MatMul(NodeId, NodeId),
     /// `a · bᵀ` — used by models that build dense similarity matrices.
     MatMulTransB(NodeId, NodeId),
-    SpMM { op: SparseOp, x: NodeId },
+    SpMM {
+        op: SparseOp,
+        x: NodeId,
+    },
     Add(NodeId, NodeId),
     Sub(NodeId, NodeId),
     Mul(NodeId, NodeId),
     /// Broadcast a `1 × cols` bias over every row of `x`.
-    AddBias { x: NodeId, bias: NodeId },
+    AddBias {
+        x: NodeId,
+        bias: NodeId,
+    },
     Scale(NodeId, f32),
     /// `out = w[0, idx] * x` — one learnable scalar from a `1 × k` vector.
-    ScalarScale { x: NodeId, w: NodeId, idx: usize },
+    ScalarScale {
+        x: NodeId,
+        w: NodeId,
+        idx: usize,
+    },
     /// `out[r, :] = w[r, col] * x[r, :]` — per-row scalar from column `col`
     /// of an `n × k` weight matrix.
-    ColScale { x: NodeId, w: NodeId, col: usize },
+    ColScale {
+        x: NodeId,
+        w: NodeId,
+        col: usize,
+    },
     Relu(NodeId),
     LeakyRelu(NodeId, f32),
     Sigmoid(NodeId),
     Tanh(NodeId),
     /// Elementwise multiply by a fixed mask (inverted-dropout style).
-    Dropout { x: NodeId, mask: Rc<Vec<f32>> },
+    Dropout {
+        x: NodeId,
+        mask: Rc<Vec<f32>>,
+    },
     ConcatCols(Vec<NodeId>),
-    SliceCols { x: NodeId, start: usize, end: usize },
+    SliceCols {
+        x: NodeId,
+        start: usize,
+        end: usize,
+    },
     /// Softmax across columns, independently per row.
     RowSoftmax(NodeId),
     /// Mean of all entries (scalar output).
@@ -120,11 +143,23 @@ struct Node {
 #[derive(Default)]
 pub struct Tape {
     nodes: Vec<Node>,
+    /// When set, every recorded op's output is scanned for NaN/±Inf under
+    /// `debug_assertions` (see [`Tape::enable_finite_monitor`]).
+    finite_monitor: bool,
 }
 
 impl Tape {
     pub fn new() -> Self {
-        Self { nodes: Vec::new() }
+        Self::default()
+    }
+
+    /// Opt-in finiteness monitor: after this call, recording an op whose
+    /// output contains NaN or ±Inf trips a `debug_assert!` naming the node
+    /// — catching the *first* op that goes non-finite instead of a loss
+    /// that is mysteriously NaN hundreds of nodes later. Free in release
+    /// builds.
+    pub fn enable_finite_monitor(&mut self) {
+        self.finite_monitor = true;
     }
 
     /// Number of recorded nodes.
@@ -149,6 +184,16 @@ impl Tape {
     }
 
     fn push(&mut self, value: DenseMatrix, op: Op, needs_grad: bool) -> NodeId {
+        if self.finite_monitor && cfg!(debug_assertions) {
+            let bad = value.as_slice().iter().filter(|v| !v.is_finite()).count();
+            debug_assert!(
+                bad == 0,
+                "finite monitor: node {} has {bad} non-finite entries in a {} × {} output",
+                self.nodes.len(),
+                value.rows(),
+                value.cols()
+            );
+        }
         self.nodes.push(Node { value, grad: None, op, needs_grad });
         self.nodes.len() - 1
     }
@@ -687,8 +732,7 @@ impl Tape {
                             *o += a * g;
                         }
                         let de = a * (dalpha[idx] - weighted_mean);
-                        let dpre =
-                            if pre_activation[slot] > 0.0 { de } else { slope * de };
+                        let dpre = if pre_activation[slot] > 0.0 { de } else { slope * de };
                         *ds.row_mut(i).first_mut().expect("n × 1") += dpre;
                         *dd.row_mut(j as usize).first_mut().expect("n × 1") += dpre;
                     }
@@ -715,6 +759,68 @@ impl Tape {
                 self.accumulate(logits, dx);
             }
         }
+    }
+
+    /// Exports the op graph as a value-free [`crate::verify::GraphSpec`] for
+    /// static analysis by [`crate::verify::TapeVerifier`]. Node ids in the
+    /// spec are the tape's own [`NodeId`]s.
+    pub fn export_spec(&self) -> crate::verify::GraphSpec {
+        use crate::verify::{GraphSpec, NodeSpec, OpKind};
+        let nodes = self
+            .nodes
+            .iter()
+            .map(|node| {
+                let (op, inputs, param) = match &node.op {
+                    Op::Leaf { param } => (OpKind::Leaf, vec![], *param),
+                    Op::MatMul(a, b) => (OpKind::MatMul, vec![*a, *b], None),
+                    Op::MatMulTransB(a, b) => (OpKind::MatMulTransB, vec![*a, *b], None),
+                    Op::SpMM { op, x } => (
+                        OpKind::SpMM { op_rows: op.n_rows(), op_cols: op.n_cols() },
+                        vec![*x],
+                        None,
+                    ),
+                    Op::Add(a, b) => (OpKind::Add, vec![*a, *b], None),
+                    Op::Sub(a, b) => (OpKind::Sub, vec![*a, *b], None),
+                    Op::Mul(a, b) => (OpKind::Mul, vec![*a, *b], None),
+                    Op::AddBias { x, bias } => (OpKind::AddBias, vec![*x, *bias], None),
+                    Op::Scale(x, _) => (OpKind::Scale, vec![*x], None),
+                    Op::ScalarScale { x, w, idx } => {
+                        (OpKind::ScalarScale { idx: *idx }, vec![*x, *w], None)
+                    }
+                    Op::ColScale { x, w, col } => {
+                        (OpKind::ColScale { col: *col }, vec![*x, *w], None)
+                    }
+                    Op::Relu(x) | Op::LeakyRelu(x, _) | Op::Sigmoid(x) | Op::Tanh(x) => {
+                        (OpKind::Activation, vec![*x], None)
+                    }
+                    Op::Dropout { x, mask } => {
+                        (OpKind::Dropout { mask_len: mask.len() }, vec![*x], None)
+                    }
+                    Op::ConcatCols(parts) => (OpKind::ConcatCols, parts.clone(), None),
+                    Op::SliceCols { x, start, end } => {
+                        (OpKind::SliceCols { start: *start, end: *end }, vec![*x], None)
+                    }
+                    Op::RowSoftmax(x) => (OpKind::RowSoftmax, vec![*x], None),
+                    Op::MeanAll(x) => (OpKind::MeanAll, vec![*x], None),
+                    Op::GatAttention { adj, src_scores, dst_scores, h, .. } => (
+                        OpKind::GatAttention { n: adj.n_rows() },
+                        vec![*src_scores, *dst_scores, *h],
+                        None,
+                    ),
+                    Op::MaskedCrossEntropy { logits, labels, mask, .. } => (
+                        OpKind::MaskedCrossEntropy {
+                            n_labels: labels.len(),
+                            mask_len: mask.len(),
+                            mask_max: mask.iter().copied().max().unwrap_or(0),
+                        },
+                        vec![*logits],
+                        None,
+                    ),
+                };
+                NodeSpec { op, inputs, shape: node.value.shape(), param }
+            })
+            .collect();
+        GraphSpec { nodes }
     }
 
     /// After `backward`, flushes every parameter leaf's accumulated gradient
@@ -780,7 +886,11 @@ mod tests {
         }
     }
 
-    fn run_loss(bank: &ParamBank, pid: crate::optim::ParamId, build: impl Fn(&mut Tape, NodeId) -> NodeId) -> (f32, DenseMatrix) {
+    fn run_loss(
+        bank: &ParamBank,
+        pid: crate::optim::ParamId,
+        build: impl Fn(&mut Tape, NodeId) -> NodeId,
+    ) -> (f32, DenseMatrix) {
         let mut tape = Tape::new();
         let p = tape.param(bank, pid);
         let out = build(&mut tape, p);
@@ -789,7 +899,12 @@ mod tests {
         (tape.value(loss).get(0, 0), tape.grad(p))
     }
 
-    fn seeded_param(bank: &mut ParamBank, rows: usize, cols: usize, seed: u64) -> crate::optim::ParamId {
+    fn seeded_param(
+        bank: &mut ParamBank,
+        rows: usize,
+        cols: usize,
+        seed: u64,
+    ) -> crate::optim::ParamId {
         let mut rng = rand::rngs::StdRng::seed_from_u64(seed);
         bank.add(DenseMatrix::xavier_uniform(rows, cols, &mut rng))
     }
@@ -912,9 +1027,7 @@ mod tests {
     fn row_softmax_gradient() {
         let mut bank = ParamBank::new();
         let pid = seeded_param(&mut bank, 3, 4, 7);
-        grad_check(&mut bank, pid, |bank| {
-            run_loss(bank, pid, |tape, p| tape.row_softmax(p))
-        });
+        grad_check(&mut bank, pid, |bank| run_loss(bank, pid, |tape, p| tape.row_softmax(p)));
     }
 
     #[test]

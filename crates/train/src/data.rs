@@ -58,10 +58,7 @@ impl GraphData {
 
     /// The coarse undirected transformation of the bundle.
     pub fn to_undirected(&self) -> GraphData {
-        let adj = self
-            .adj
-            .bool_union(&self.adj.transpose())
-            .expect("A and Aᵀ share a shape");
+        let adj = self.adj.bool_union(&self.adj.transpose()).expect("A and Aᵀ share a shape");
         GraphData { adj, ..self.clone() }
     }
 
@@ -105,10 +102,7 @@ mod tests {
     #[test]
     #[should_panic(expected = "training set must not be empty")]
     fn empty_train_rejected() {
-        let g = DiGraph::from_edges(2, vec![(0, 1)])
-            .unwrap()
-            .with_labels(vec![0, 1], 2)
-            .unwrap();
+        let g = DiGraph::from_edges(2, vec![(0, 1)]).unwrap().with_labels(vec![0, 1], 2).unwrap();
         let _ = GraphData::new(&g, DenseMatrix::ones(2, 1), vec![], vec![0], vec![1]);
     }
 }

@@ -24,5 +24,6 @@ pub use grid::{grid_search, GridOutcome, HyperGrid, HyperPoint};
 pub use metrics::{accuracy, binary_auc, confusion_matrix, macro_f1, Summary};
 pub use model::Model;
 pub use trainer::{
-    repeat_runs, train, train_with_curve, RepeatOutcome, TrainConfig, TrainCurve, TrainResult,
+    repeat_runs, train, train_with_curve, verify_model, RepeatOutcome, TrainConfig, TrainCurve,
+    TrainResult,
 };

@@ -54,6 +54,10 @@ pub fn average_ranks(per_model_accuracies: &[Vec<f64>]) -> Vec<f64> {
     );
     let n_models = per_model_accuracies.len();
     let mut ranks = vec![0.0f64; n_models];
+    // Column-wise walk over a row-major structure: `d` indexes *inside*
+    // each model's accuracy list, which no iterator over the outer Vec
+    // can express.
+    #[allow(clippy::needless_range_loop)]
     for d in 0..n_datasets {
         let mut order: Vec<usize> = (0..n_models).collect();
         order.sort_by(|&a, &b| {
@@ -217,8 +221,7 @@ mod tests {
     #[test]
     fn auc_separable_and_random() {
         // Perfectly separable: AUC 1.
-        let logits =
-            DenseMatrix::from_vec(4, 2, vec![2., 0., 1.5, 0., 0., 1.5, 0., 2.]);
+        let logits = DenseMatrix::from_vec(4, 2, vec![2., 0., 1.5, 0., 0., 1.5, 0., 2.]);
         let labels = vec![0, 0, 1, 1];
         assert!((binary_auc(&logits, &labels, &[0, 1, 2, 3]) - 1.0).abs() < 1e-12);
         // Constant scores: AUC 0.5 by the tie rule.

@@ -21,8 +21,13 @@ pub trait Model {
     ///
     /// `training` toggles dropout; `rng` is only consumed when training
     /// (evaluation must be deterministic).
-    fn forward(&self, tape: &mut Tape, data: &GraphData, training: bool, rng: &mut StdRng)
-        -> NodeId;
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        data: &GraphData,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> NodeId;
 
     /// Human-readable model name for experiment tables.
     fn name(&self) -> &'static str;

@@ -3,6 +3,7 @@
 use crate::data::GraphData;
 use crate::metrics::{accuracy, Summary};
 use crate::model::Model;
+use amud_nn::verify::{has_errors, render, Diagnostic, TapeVerifier};
 use amud_nn::{Adam, Tape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
@@ -63,6 +64,18 @@ pub fn train_with_curve(
     train_inner(model, data, cfg, seed, true)
 }
 
+/// Records one evaluation-mode forward pass (plus the training loss) and
+/// statically verifies the resulting op graph — shape inference, gradient
+/// reachability of every parameter, dangling nodes. Returns the verifier's
+/// findings; an empty vector means the graph is clean.
+pub fn verify_model(model: &dyn Model, data: &GraphData, seed: u64) -> Vec<Diagnostic> {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut tape = Tape::new();
+    let logits = model.forward(&mut tape, data, false, &mut rng);
+    let loss = tape.masked_cross_entropy(logits, Rc::clone(&data.labels), Rc::clone(&data.train));
+    TapeVerifier::new().verify(&tape, loss)
+}
+
 fn train_inner(
     model: &mut dyn Model,
     data: &GraphData,
@@ -70,6 +83,18 @@ fn train_inner(
     seed: u64,
     record_curve: bool,
 ) -> TrainResult {
+    // Mandatory pre-flight: statically verify the op graph the model
+    // records before spending any epochs on it. Uses its own RNG so the
+    // training stream below is unchanged.
+    let preflight = verify_model(model, data, seed);
+    if has_errors(&preflight) {
+        panic!(
+            "tape verification failed for {} before training:\n{}",
+            model.name(),
+            render(&preflight)
+        );
+    }
+
     let mut rng = StdRng::seed_from_u64(seed);
     let mut adam = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay).with_clip_norm(5.0);
     let labels = Rc::clone(&data.labels);
@@ -108,6 +133,12 @@ fn train_inner(
             test_at_best = test_acc;
             since_best = 0;
         } else {
+            // Validation accuracy is coarse on small splits; on a tie keep
+            // the most-trained snapshot rather than freezing on the first
+            // epoch that reached the plateau. Ties do not reset patience.
+            if val_acc == best_val {
+                test_at_best = test_acc;
+            }
             since_best += 1;
             if cfg.patience > 0 && since_best >= cfg.patience {
                 break;
@@ -200,10 +231,8 @@ mod tests {
         use rand::Rng;
         let n = 120;
         let labels: Vec<usize> = (0..n).map(|v| v % 3).collect();
-        let g = DiGraph::from_edges(n, vec![(0, 1)])
-            .unwrap()
-            .with_labels(labels.clone(), 3)
-            .unwrap();
+        let g =
+            DiGraph::from_edges(n, vec![(0, 1)]).unwrap().with_labels(labels.clone(), 3).unwrap();
         let x = DenseMatrix::from_fn(n, 3, |r, c| {
             let base = if labels[r] == c { 1.0 } else { 0.0 };
             base + 0.3 * rng.gen::<f32>()

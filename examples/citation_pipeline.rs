@@ -7,7 +7,7 @@
 //! cargo run --example citation_pipeline --release
 //! ```
 
-use amud_repro::core::{paradigm::Paradigm, paradigm, Adpa, AdpaConfig};
+use amud_repro::core::{paradigm, paradigm::Paradigm, Adpa, AdpaConfig};
 use amud_repro::datasets::{replica, ReplicaScale};
 use amud_repro::graph::measures::homophily_report;
 use amud_repro::models::registry::build_model;

@@ -35,10 +35,9 @@ fn main() {
     for c in &report.correlations {
         println!("  r({}, labels) = {:+.4}   R² = {:.5}", c.pattern, c.r, c.r_squared);
     }
-    println!("  guidance score S = {:.3} → {:?} (Paradigm {:?})",
-        report.score,
-        report.decision,
-        paradigm
+    println!(
+        "  guidance score S = {:.3} → {:?} (Paradigm {:?})",
+        report.score, report.decision, paradigm
     );
     assert_eq!(report.decision, AmudDecision::Directed, "chameleon should stay directed");
 

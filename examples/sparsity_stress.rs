@@ -41,11 +41,17 @@ fn main() {
 
     for frac in [0.4, 0.8] {
         let (a, d) = eval(&bundle(&mask_features(&base, frac, 1)));
-        println!("{:<28} {a:>8.3} {d:>8.3}", format!("features masked {frac:.0}%", frac = frac * 100.0));
+        println!(
+            "{:<28} {a:>8.3} {d:>8.3}",
+            format!("features masked {frac:.0}%", frac = frac * 100.0)
+        );
     }
     for frac in [0.4, 0.8] {
         let (a, d) = eval(&bundle(&drop_edges(&base, frac, 2)));
-        println!("{:<28} {a:>8.3} {d:>8.3}", format!("edges removed {frac:.0}%", frac = frac * 100.0));
+        println!(
+            "{:<28} {a:>8.3} {d:>8.3}",
+            format!("edges removed {frac:.0}%", frac = frac * 100.0)
+        );
     }
     for per_class in [10usize, 3] {
         let (a, d) = eval(&bundle(&limit_labels(&base, per_class)));

@@ -2,7 +2,10 @@
 //!
 //! ```text
 //! amud score   <dataset|file.amud>       AMUD report for a digraph
-//! amud train   <dataset> [model]         train one model end-to-end
+//! amud train   <dataset> [model] [--verify-tape]
+//!                                        train one model end-to-end,
+//!                                        optionally printing the tape
+//!                                        verifier's report first
 //! amud export  <dataset> <file.amud>     write a replica to disk
 //! amud list                              datasets and models available
 //! ```
@@ -14,7 +17,9 @@
 use amud_repro::core::{paradigm, Adpa, AdpaConfig};
 use amud_repro::datasets::registry::all_specs;
 use amud_repro::datasets::{replica, Dataset, ReplicaScale};
-use amud_repro::models::registry::{build_model, extra_model_names, is_directed_model, model_names};
+use amud_repro::models::registry::{
+    build_model, extra_model_names, is_directed_model, model_names,
+};
 use amud_repro::train::{train, GraphData, Model, TrainConfig};
 
 fn env_scale() -> ReplicaScale {
@@ -55,7 +60,13 @@ fn cmd_score(target: &str) {
     let d = load_dataset(target);
     let data = to_bundle(&d);
     let (report, par) = paradigm::decide(&data);
-    println!("dataset: {} ({} nodes, {} edges, {} classes)", d.name(), d.n_nodes(), d.graph.n_edges(), d.n_classes());
+    println!(
+        "dataset: {} ({} nodes, {} edges, {} classes)",
+        d.name(),
+        d.n_nodes(),
+        d.graph.n_edges(),
+        d.n_classes()
+    );
     println!("\nper-pattern correlations with node profiles:");
     for c in &report.correlations {
         println!(
@@ -71,7 +82,23 @@ fn cmd_score(target: &str) {
     println!("decision: {:?} → Paradigm {:?}", report.decision, par);
 }
 
-fn cmd_train(target: &str, model_name: &str) {
+/// Statically verifies the tape a model records and prints the findings.
+/// Exits with an error when the graph is wrong (mirrors the trainer's
+/// mandatory pre-flight, but with a readable report instead of a panic).
+fn report_verification(label: &str, model: &dyn Model, input: &GraphData) {
+    use amud_repro::nn::verify::{has_errors, render};
+    let diags = amud_repro::train::verify_model(model, input, 0);
+    if diags.is_empty() {
+        println!("verify-tape: {label}: clean ({} params)", model.bank().len());
+    } else {
+        println!("verify-tape: {label}: {} finding(s)\n{}", diags.len(), render(&diags));
+        if has_errors(&diags) {
+            die("tape verification failed");
+        }
+    }
+}
+
+fn cmd_train(target: &str, model_name: &str, verify_tape: bool) {
     let d = load_dataset(target);
     let data = to_bundle(&d);
     let epochs: usize =
@@ -82,6 +109,9 @@ fn cmd_train(target: &str, model_name: &str) {
         let (prepared, report, _) = paradigm::prepare_topology(&data);
         println!("AMUD S = {:.3} → {:?}", report.score, report.decision);
         let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0);
+        if verify_tape {
+            report_verification("ADPA", &model, &prepared);
+        }
         train(&mut model, &prepared, cfg, 0)
     } else {
         struct Shim(Box<dyn Model>);
@@ -107,6 +137,9 @@ fn cmd_train(target: &str, model_name: &str) {
         }
         let input = if is_directed_model(model_name) { data.clone() } else { data.to_undirected() };
         let mut model = Shim(build_model(model_name, &input, 0));
+        if verify_tape {
+            report_verification(model_name, &model, &input);
+        }
         train(&mut model, &input, cfg, 0)
     };
     println!(
@@ -136,17 +169,22 @@ fn cmd_list() {
 }
 
 fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
+    let raw: Vec<String> = std::env::args().skip(1).collect();
+    let verify_tape = raw.iter().any(|a| a == "--verify-tape");
+    if let Some(flag) = raw.iter().find(|a| a.starts_with("--") && *a != "--verify-tape") {
+        die(&format!("unknown flag '{flag}' (did you mean --verify-tape?)"));
+    }
+    let args: Vec<String> = raw.into_iter().filter(|a| a != "--verify-tape").collect();
     match args.first().map(String::as_str) {
         Some("score") if args.len() == 2 => cmd_score(&args[1]),
         Some("train") if args.len() >= 2 => {
-            cmd_train(&args[1], args.get(2).map(String::as_str).unwrap_or("ADPA"))
+            cmd_train(&args[1], args.get(2).map(String::as_str).unwrap_or("ADPA"), verify_tape)
         }
         Some("export") if args.len() == 3 => cmd_export(&args[1], &args[2]),
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
-                "usage:\n  amud score  <dataset|file.amud>\n  amud train  <dataset> [model]\n  amud export <dataset> <file.amud>\n  amud list"
+                "usage:\n  amud score  <dataset|file.amud>\n  amud train  <dataset> [model] [--verify-tape]\n  amud export <dataset> <file.amud>\n  amud list"
             );
             std::process::exit(2);
         }

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amud-97d52acbe22e37c0.d: src/bin/amud.rs
+
+/root/repo/target/debug/deps/amud-97d52acbe22e37c0: src/bin/amud.rs
+
+src/bin/amud.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amud-ff4e33ad7acc5222.d: src/bin/amud.rs
+
+/root/repo/target/debug/deps/amud-ff4e33ad7acc5222: src/bin/amud.rs
+
+src/bin/amud.rs:

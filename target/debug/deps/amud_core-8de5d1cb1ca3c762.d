@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/amud_core-8de5d1cb1ca3c762.d: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs
+
+/root/repo/target/debug/deps/libamud_core-8de5d1cb1ca3c762.rlib: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs
+
+/root/repo/target/debug/deps/libamud_core-8de5d1cb1ca3c762.rmeta: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adpa.rs:
+crates/core/src/amud.rs:
+crates/core/src/paradigm.rs:
+crates/core/src/propagation.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/amud_graph-666542a1d06d2b6b.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/measures.rs crates/graph/src/patterns.rs
+
+/root/repo/target/debug/deps/libamud_graph-666542a1d06d2b6b.rlib: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/measures.rs crates/graph/src/patterns.rs
+
+/root/repo/target/debug/deps/libamud_graph-666542a1d06d2b6b.rmeta: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/measures.rs crates/graph/src/patterns.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/measures.rs:
+crates/graph/src/patterns.rs:

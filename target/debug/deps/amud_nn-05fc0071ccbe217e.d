@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/amud_nn-05fc0071ccbe217e.d: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs
+
+/root/repo/target/debug/deps/libamud_nn-05fc0071ccbe217e.rlib: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs
+
+/root/repo/target/debug/deps/libamud_nn-05fc0071ccbe217e.rmeta: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/complex.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:
+crates/nn/src/verify.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amud_repro-0a53135221fcc286.d: src/lib.rs
+
+/root/repo/target/debug/deps/libamud_repro-0a53135221fcc286.rlib: src/lib.rs
+
+/root/repo/target/debug/deps/libamud_repro-0a53135221fcc286.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amud_repro-fe5835ef226d4265.d: src/lib.rs
+
+/root/repo/target/debug/deps/amud_repro-fe5835ef226d4265: src/lib.rs
+
+src/lib.rs:

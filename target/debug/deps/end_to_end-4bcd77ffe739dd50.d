@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/end_to_end-4bcd77ffe739dd50.d: tests/end_to_end.rs
+
+/root/repo/target/debug/deps/end_to_end-4bcd77ffe739dd50: tests/end_to_end.rs
+
+tests/end_to_end.rs:

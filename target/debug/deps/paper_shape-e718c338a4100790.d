@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/paper_shape-e718c338a4100790.d: tests/paper_shape.rs
+
+/root/repo/target/debug/deps/paper_shape-e718c338a4100790: tests/paper_shape.rs
+
+tests/paper_shape.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/properties-7594e6b34a5d44c4.d: tests/properties.rs
+
+/root/repo/target/debug/deps/properties-7594e6b34a5d44c4: tests/properties.rs
+
+tests/properties.rs:

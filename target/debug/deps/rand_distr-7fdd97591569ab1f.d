@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/rand_distr-7fdd97591569ab1f.d: crates/compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-7fdd97591569ab1f.rlib: crates/compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-7fdd97591569ab1f.rmeta: crates/compat/rand_distr/src/lib.rs
+
+crates/compat/rand_distr/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/rand_distr-8e54512d8062b200.d: crates/compat/rand_distr/src/lib.rs
+
+/root/repo/target/debug/deps/librand_distr-8e54512d8062b200.rmeta: crates/compat/rand_distr/src/lib.rs
+
+crates/compat/rand_distr/src/lib.rs:

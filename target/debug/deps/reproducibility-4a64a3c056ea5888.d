@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/reproducibility-4a64a3c056ea5888.d: tests/reproducibility.rs
+
+/root/repo/target/debug/deps/reproducibility-4a64a3c056ea5888: tests/reproducibility.rs
+
+tests/reproducibility.rs:

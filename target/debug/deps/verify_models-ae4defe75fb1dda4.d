@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/verify_models-ae4defe75fb1dda4.d: tests/verify_models.rs
+
+/root/repo/target/debug/deps/verify_models-ae4defe75fb1dda4: tests/verify_models.rs
+
+tests/verify_models.rs:

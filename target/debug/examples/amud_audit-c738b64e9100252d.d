@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/amud_audit-c738b64e9100252d.d: examples/amud_audit.rs
+
+/root/repo/target/debug/examples/amud_audit-c738b64e9100252d: examples/amud_audit.rs
+
+examples/amud_audit.rs:

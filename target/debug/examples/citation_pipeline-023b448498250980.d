@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/citation_pipeline-023b448498250980.d: examples/citation_pipeline.rs
+
+/root/repo/target/debug/examples/citation_pipeline-023b448498250980: examples/citation_pipeline.rs
+
+examples/citation_pipeline.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/quickstart-b8bf039f4706d50f.d: examples/quickstart.rs
+
+/root/repo/target/debug/examples/quickstart-b8bf039f4706d50f: examples/quickstart.rs
+
+examples/quickstart.rs:

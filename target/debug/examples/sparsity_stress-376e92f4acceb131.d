@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/sparsity_stress-376e92f4acceb131.d: examples/sparsity_stress.rs
+
+/root/repo/target/debug/examples/sparsity_stress-376e92f4acceb131: examples/sparsity_stress.rs
+
+examples/sparsity_stress.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/examples/webkb_heterophily-39949a83e606b541.d: examples/webkb_heterophily.rs
+
+/root/repo/target/debug/examples/webkb_heterophily-39949a83e606b541: examples/webkb_heterophily.rs
+
+examples/webkb_heterophily.rs:

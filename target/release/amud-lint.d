@@ -1,0 +1,1 @@
+/root/repo/target/release/amud-lint: /root/repo/crates/lint/src/lib.rs /root/repo/crates/lint/src/main.rs

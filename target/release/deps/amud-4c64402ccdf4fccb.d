@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/amud-4c64402ccdf4fccb.d: src/bin/amud.rs
+
+/root/repo/target/release/deps/amud-4c64402ccdf4fccb: src/bin/amud.rs
+
+src/bin/amud.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/amud-69de60182e1188f6.d: src/bin/amud.rs
+
+/root/repo/target/release/deps/amud-69de60182e1188f6: src/bin/amud.rs
+
+src/bin/amud.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amud_bench-7aab9a1cc8565339.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamud_bench-7aab9a1cc8565339.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/libamud_bench-7aab9a1cc8565339.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/amud_bench-d5e27d16638abaab.d: crates/bench/src/lib.rs
+
+/root/repo/target/release/deps/amud_bench-d5e27d16638abaab: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

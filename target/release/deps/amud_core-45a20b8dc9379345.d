@@ -1,0 +1,9 @@
+/root/repo/target/release/deps/amud_core-45a20b8dc9379345.d: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs
+
+/root/repo/target/release/deps/amud_core-45a20b8dc9379345: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adpa.rs:
+crates/core/src/amud.rs:
+crates/core/src/paradigm.rs:
+crates/core/src/propagation.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/amud_core-d4cce618209e13b5.d: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs
+
+/root/repo/target/release/deps/libamud_core-d4cce618209e13b5.rlib: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs
+
+/root/repo/target/release/deps/libamud_core-d4cce618209e13b5.rmeta: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adpa.rs:
+crates/core/src/amud.rs:
+crates/core/src/paradigm.rs:
+crates/core/src/propagation.rs:

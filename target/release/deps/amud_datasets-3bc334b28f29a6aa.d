@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/amud_datasets-3bc334b28f29a6aa.d: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
+
+/root/repo/target/release/deps/amud_datasets-3bc334b28f29a6aa: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dsbm.rs:
+crates/datasets/src/features.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/sparsify.rs:
+crates/datasets/src/splits.rs:

@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/amud_graph-1c1da135f62cfaf6.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/measures.rs crates/graph/src/patterns.rs
+
+/root/repo/target/release/deps/amud_graph-1c1da135f62cfaf6: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/measures.rs crates/graph/src/patterns.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/measures.rs:
+crates/graph/src/patterns.rs:

@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/amud_graph-49f5e8f278ba5be8.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/measures.rs crates/graph/src/patterns.rs
+
+/root/repo/target/release/deps/libamud_graph-49f5e8f278ba5be8.rlib: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/measures.rs crates/graph/src/patterns.rs
+
+/root/repo/target/release/deps/libamud_graph-49f5e8f278ba5be8.rmeta: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/measures.rs crates/graph/src/patterns.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/measures.rs:
+crates/graph/src/patterns.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amud_lint-193ac478d0a78c92.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/amud_lint-193ac478d0a78c92: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/amud_lint-2897341ed906d9ef.d: crates/lint/src/lib.rs
+
+/root/repo/target/release/deps/amud_lint-2897341ed906d9ef: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amud_lint-6afc356e0281e672.d: crates/lint/src/lib.rs
+
+/root/repo/target/release/deps/libamud_lint-6afc356e0281e672.rlib: crates/lint/src/lib.rs
+
+/root/repo/target/release/deps/libamud_lint-6afc356e0281e672.rmeta: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

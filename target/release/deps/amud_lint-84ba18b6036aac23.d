@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amud_lint-84ba18b6036aac23.d: crates/lint/src/main.rs
+
+/root/repo/target/release/deps/amud_lint-84ba18b6036aac23: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

@@ -1,0 +1,31 @@
+/root/repo/target/release/deps/amud_models-8eddd39a2abe01d0.d: crates/models/src/lib.rs crates/models/src/a2dug.rs crates/models/src/aero.rs crates/models/src/appnp.rs crates/models/src/bernnet.rs crates/models/src/common.rs crates/models/src/dgcn.rs crates/models/src/digcn.rs crates/models/src/dimpa.rs crates/models/src/dirgnn.rs crates/models/src/gat.rs crates/models/src/gcn.rs crates/models/src/glognn.rs crates/models/src/gprgnn.rs crates/models/src/h2gcn.rs crates/models/src/jacobi.rs crates/models/src/labelprop.rs crates/models/src/linkx.rs crates/models/src/magnet.rs crates/models/src/mgc.rs crates/models/src/mlp.rs crates/models/src/nste.rs crates/models/src/registry.rs crates/models/src/sage.rs crates/models/src/sgc.rs
+
+/root/repo/target/release/deps/libamud_models-8eddd39a2abe01d0.rlib: crates/models/src/lib.rs crates/models/src/a2dug.rs crates/models/src/aero.rs crates/models/src/appnp.rs crates/models/src/bernnet.rs crates/models/src/common.rs crates/models/src/dgcn.rs crates/models/src/digcn.rs crates/models/src/dimpa.rs crates/models/src/dirgnn.rs crates/models/src/gat.rs crates/models/src/gcn.rs crates/models/src/glognn.rs crates/models/src/gprgnn.rs crates/models/src/h2gcn.rs crates/models/src/jacobi.rs crates/models/src/labelprop.rs crates/models/src/linkx.rs crates/models/src/magnet.rs crates/models/src/mgc.rs crates/models/src/mlp.rs crates/models/src/nste.rs crates/models/src/registry.rs crates/models/src/sage.rs crates/models/src/sgc.rs
+
+/root/repo/target/release/deps/libamud_models-8eddd39a2abe01d0.rmeta: crates/models/src/lib.rs crates/models/src/a2dug.rs crates/models/src/aero.rs crates/models/src/appnp.rs crates/models/src/bernnet.rs crates/models/src/common.rs crates/models/src/dgcn.rs crates/models/src/digcn.rs crates/models/src/dimpa.rs crates/models/src/dirgnn.rs crates/models/src/gat.rs crates/models/src/gcn.rs crates/models/src/glognn.rs crates/models/src/gprgnn.rs crates/models/src/h2gcn.rs crates/models/src/jacobi.rs crates/models/src/labelprop.rs crates/models/src/linkx.rs crates/models/src/magnet.rs crates/models/src/mgc.rs crates/models/src/mlp.rs crates/models/src/nste.rs crates/models/src/registry.rs crates/models/src/sage.rs crates/models/src/sgc.rs
+
+crates/models/src/lib.rs:
+crates/models/src/a2dug.rs:
+crates/models/src/aero.rs:
+crates/models/src/appnp.rs:
+crates/models/src/bernnet.rs:
+crates/models/src/common.rs:
+crates/models/src/dgcn.rs:
+crates/models/src/digcn.rs:
+crates/models/src/dimpa.rs:
+crates/models/src/dirgnn.rs:
+crates/models/src/gat.rs:
+crates/models/src/gcn.rs:
+crates/models/src/glognn.rs:
+crates/models/src/gprgnn.rs:
+crates/models/src/h2gcn.rs:
+crates/models/src/jacobi.rs:
+crates/models/src/labelprop.rs:
+crates/models/src/linkx.rs:
+crates/models/src/magnet.rs:
+crates/models/src/mgc.rs:
+crates/models/src/mlp.rs:
+crates/models/src/nste.rs:
+crates/models/src/registry.rs:
+crates/models/src/sage.rs:
+crates/models/src/sgc.rs:

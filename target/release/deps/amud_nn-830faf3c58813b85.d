@@ -1,0 +1,11 @@
+/root/repo/target/release/deps/amud_nn-830faf3c58813b85.d: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs
+
+/root/repo/target/release/deps/amud_nn-830faf3c58813b85: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/complex.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:
+crates/nn/src/verify.rs:

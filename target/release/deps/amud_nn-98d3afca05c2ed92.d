@@ -1,0 +1,13 @@
+/root/repo/target/release/deps/amud_nn-98d3afca05c2ed92.d: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs
+
+/root/repo/target/release/deps/libamud_nn-98d3afca05c2ed92.rlib: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs
+
+/root/repo/target/release/deps/libamud_nn-98d3afca05c2ed92.rmeta: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/complex.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:
+crates/nn/src/verify.rs:

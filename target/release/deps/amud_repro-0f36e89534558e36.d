@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/amud_repro-0f36e89534558e36.d: src/lib.rs
+
+/root/repo/target/release/deps/amud_repro-0f36e89534558e36: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/amud_repro-29a60109e9634d50.d: src/lib.rs
+
+/root/repo/target/release/deps/libamud_repro-29a60109e9634d50.rlib: src/lib.rs
+
+/root/repo/target/release/deps/libamud_repro-29a60109e9634d50.rmeta: src/lib.rs
+
+src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/release/deps/amud_train-5593abdfeac80c92.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
+
+/root/repo/target/release/deps/amud_train-5593abdfeac80c92: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
+
+crates/train/src/lib.rs:
+crates/train/src/data.rs:
+crates/train/src/grid.rs:
+crates/train/src/metrics.rs:
+crates/train/src/model.rs:
+crates/train/src/trainer.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/criterion-f0444e805bb0bac7.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f0444e805bb0bac7.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/release/deps/libcriterion-f0444e805bb0bac7.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/end_to_end-344015c3fb974144.d: tests/end_to_end.rs
+
+/root/repo/target/release/deps/end_to_end-344015c3fb974144: tests/end_to_end.rs
+
+tests/end_to_end.rs:

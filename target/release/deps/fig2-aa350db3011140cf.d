@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-aa350db3011140cf.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-aa350db3011140cf: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

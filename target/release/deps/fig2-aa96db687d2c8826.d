@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig2-aa96db687d2c8826.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/release/deps/fig2-aa96db687d2c8826: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-58e8105cf5a10502.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-58e8105cf5a10502: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

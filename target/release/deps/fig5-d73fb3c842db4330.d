@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig5-d73fb3c842db4330.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/release/deps/fig5-d73fb3c842db4330: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-1c832f4b2ac5d77a.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-1c832f4b2ac5d77a: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig6-282ce638d0212068.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/release/deps/fig6-282ce638d0212068: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

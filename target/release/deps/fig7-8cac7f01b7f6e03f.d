@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/fig7-8cac7f01b7f6e03f.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/release/deps/fig7-8cac7f01b7f6e03f: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/gradient_properties-1890d517afa6216c.d: crates/nn/tests/gradient_properties.rs
+
+/root/repo/target/release/deps/gradient_properties-1890d517afa6216c: crates/nn/tests/gradient_properties.rs
+
+crates/nn/tests/gradient_properties.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/paper_shape-509970150c1bb82d.d: tests/paper_shape.rs
+
+/root/repo/target/release/deps/paper_shape-509970150c1bb82d: tests/paper_shape.rs
+
+tests/paper_shape.rs:

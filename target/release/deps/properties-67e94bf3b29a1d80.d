@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/properties-67e94bf3b29a1d80.d: tests/properties.rs
+
+/root/repo/target/release/deps/properties-67e94bf3b29a1d80: tests/properties.rs
+
+tests/properties.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/proptest-d6b1e0747fb60c2b.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d6b1e0747fb60c2b.rlib: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/release/deps/libproptest-d6b1e0747fb60c2b.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand-d863599764092b2e.d: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d863599764092b2e.rlib: crates/compat/rand/src/lib.rs
+
+/root/repo/target/release/deps/librand-d863599764092b2e.rmeta: crates/compat/rand/src/lib.rs
+
+crates/compat/rand/src/lib.rs:

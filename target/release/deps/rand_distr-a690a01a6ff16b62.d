@@ -1,0 +1,7 @@
+/root/repo/target/release/deps/rand_distr-a690a01a6ff16b62.d: crates/compat/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-a690a01a6ff16b62.rlib: crates/compat/rand_distr/src/lib.rs
+
+/root/repo/target/release/deps/librand_distr-a690a01a6ff16b62.rmeta: crates/compat/rand_distr/src/lib.rs
+
+crates/compat/rand_distr/src/lib.rs:

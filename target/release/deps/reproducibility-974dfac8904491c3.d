@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/reproducibility-974dfac8904491c3.d: tests/reproducibility.rs
+
+/root/repo/target/release/deps/reproducibility-974dfac8904491c3: tests/reproducibility.rs
+
+tests/reproducibility.rs:

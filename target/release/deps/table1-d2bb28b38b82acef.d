@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-d2bb28b38b82acef.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-d2bb28b38b82acef: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table1-fe95477973fd5300.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/release/deps/table1-fe95477973fd5300: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

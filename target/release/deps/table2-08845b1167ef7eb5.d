@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-08845b1167ef7eb5.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-08845b1167ef7eb5: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table2-57c70365dcb9b2bf.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/release/deps/table2-57c70365dcb9b2bf: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-062e35605ff15417.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-062e35605ff15417: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

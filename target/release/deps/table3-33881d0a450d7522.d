@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table3-33881d0a450d7522.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/release/deps/table3-33881d0a450d7522: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-2d52cb3730318af4.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-2d52cb3730318af4: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

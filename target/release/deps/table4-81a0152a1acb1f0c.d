@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table4-81a0152a1acb1f0c.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/release/deps/table4-81a0152a1acb1f0c: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

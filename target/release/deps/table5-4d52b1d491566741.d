@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-4d52b1d491566741.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-4d52b1d491566741: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table5-c9bd8bb0b33da949.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/release/deps/table5-c9bd8bb0b33da949: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-7957fac852723bf6.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-7957fac852723bf6: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table6-7d08315c1d7a3166.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/release/deps/table6-7d08315c1d7a3166: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

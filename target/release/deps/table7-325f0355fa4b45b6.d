@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-325f0355fa4b45b6.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-325f0355fa4b45b6: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

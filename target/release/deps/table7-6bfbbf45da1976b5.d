@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/table7-6bfbbf45da1976b5.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/release/deps/table7-6bfbbf45da1976b5: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

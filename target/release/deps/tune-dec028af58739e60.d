@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune-dec028af58739e60.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/release/deps/tune-dec028af58739e60: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

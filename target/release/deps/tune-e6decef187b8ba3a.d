@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/tune-e6decef187b8ba3a.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/release/deps/tune-e6decef187b8ba3a: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/deps/verify_models-deb891b0bdaec0c6.d: tests/verify_models.rs
+
+/root/repo/target/release/deps/verify_models-deb891b0bdaec0c6: tests/verify_models.rs
+
+tests/verify_models.rs:

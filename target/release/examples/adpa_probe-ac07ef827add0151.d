@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/adpa_probe-ac07ef827add0151.d: examples/adpa_probe.rs
+
+/root/repo/target/release/examples/adpa_probe-ac07ef827add0151: examples/adpa_probe.rs
+
+examples/adpa_probe.rs:

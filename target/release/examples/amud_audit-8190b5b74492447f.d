@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/amud_audit-8190b5b74492447f.d: examples/amud_audit.rs
+
+/root/repo/target/release/examples/amud_audit-8190b5b74492447f: examples/amud_audit.rs
+
+examples/amud_audit.rs:

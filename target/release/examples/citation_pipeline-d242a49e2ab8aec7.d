@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/citation_pipeline-d242a49e2ab8aec7.d: examples/citation_pipeline.rs
+
+/root/repo/target/release/examples/citation_pipeline-d242a49e2ab8aec7: examples/citation_pipeline.rs
+
+examples/citation_pipeline.rs:

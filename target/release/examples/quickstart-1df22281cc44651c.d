@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/quickstart-1df22281cc44651c.d: examples/quickstart.rs
+
+/root/repo/target/release/examples/quickstart-1df22281cc44651c: examples/quickstart.rs
+
+examples/quickstart.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/sparsity_stress-aa6dcb0be7d9708c.d: examples/sparsity_stress.rs
+
+/root/repo/target/release/examples/sparsity_stress-aa6dcb0be7d9708c: examples/sparsity_stress.rs
+
+examples/sparsity_stress.rs:

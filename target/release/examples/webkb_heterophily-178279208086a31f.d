@@ -1,0 +1,5 @@
+/root/repo/target/release/examples/webkb_heterophily-178279208086a31f.d: examples/webkb_heterophily.rs
+
+/root/repo/target/release/examples/webkb_heterophily-178279208086a31f: examples/webkb_heterophily.rs
+
+examples/webkb_heterophily.rs:

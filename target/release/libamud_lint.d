@@ -1,0 +1,1 @@
+/root/repo/target/release/libamud_lint.rlib: /root/repo/crates/lint/src/lib.rs

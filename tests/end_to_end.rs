@@ -24,7 +24,12 @@ fn quick() -> TrainConfig {
 fn paradigm_one_pipeline_citation_network() {
     let data = bundle("cora_ml", 0);
     let (prepared, report, par) = paradigm::prepare_topology(&data);
-    assert_eq!(par, Paradigm::I, "homophilous citation replica must go Paradigm I (S = {})", report.score);
+    assert_eq!(
+        par,
+        Paradigm::I,
+        "homophilous citation replica must go Paradigm I (S = {})",
+        report.score
+    );
     assert!(prepared.is_undirected());
     let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0);
     let result = train(&mut model, &prepared, quick(), 0);
@@ -35,7 +40,12 @@ fn paradigm_one_pipeline_citation_network() {
 fn paradigm_two_pipeline_oriented_heterophily() {
     let data = bundle("chameleon", 1);
     let (prepared, report, par) = paradigm::prepare_topology(&data);
-    assert_eq!(par, Paradigm::II, "oriented heterophilous replica must go Paradigm II (S = {})", report.score);
+    assert_eq!(
+        par,
+        Paradigm::II,
+        "oriented heterophilous replica must go Paradigm II (S = {})",
+        report.score
+    );
     assert!(!prepared.is_undirected());
     let mut model = Adpa::new(&prepared, AdpaConfig::default(), 1);
     let result = train(&mut model, &prepared, quick(), 1);

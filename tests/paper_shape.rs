@@ -18,7 +18,13 @@ impl Model for Shim {
     fn bank_mut(&mut self) -> &mut ParamBank {
         self.0.bank_mut()
     }
-    fn forward(&self, tape: &mut Tape, data: &GraphData, training: bool, rng: &mut StdRng) -> NodeId {
+    fn forward(
+        &self,
+        tape: &mut Tape,
+        data: &GraphData,
+        training: bool,
+        rng: &mut StdRng,
+    ) -> NodeId {
         self.0.forward(tape, data, training, rng)
     }
     fn name(&self) -> &'static str {
@@ -95,9 +101,7 @@ fn adpa_is_competitive_in_both_regimes() {
     // least median on the directed side where its mechanism applies.
     // Early stopping (best-val selection) damps tiny-replica variance.
     let stable = TrainConfig { epochs: 120, patience: 25, lr: 0.01, weight_decay: 5e-4 };
-    for (dataset, seeds, need_median) in
-        [("cora_ml", 20u64, false), ("chameleon", 21u64, true)]
-    {
+    for (dataset, seeds, need_median) in [("cora_ml", 20u64, false), ("chameleon", 21u64, true)] {
         let raw = bundle(dataset, seeds);
         let (prepared, _, _) = amud_repro::core::paradigm::prepare_topology(&raw);
         let adpa = avg_acc(|s| {
@@ -145,10 +149,8 @@ fn dp_attention_outperforms_no_attention() {
         train(&mut m, &data, cfg(), s).test_acc
     });
     let without = avg_acc(|s| {
-        let c = AdpaConfig {
-            dp_attention: amud_repro::core::DpAttention::None,
-            ..Default::default()
-        };
+        let c =
+            AdpaConfig { dp_attention: amud_repro::core::DpAttention::None, ..Default::default() };
         let mut m = Adpa::new(&data, c, s);
         train(&mut m, &data, cfg(), s).test_acc
     });

@@ -1,0 +1,78 @@
+//! Every model the repo ships must record a statically clean tape: shapes
+//! consistent, every parameter reachable from the loss, no dangling nodes.
+//! This is the acceptance gate for the `amud_nn::verify` pass — a model
+//! whose parameters silently receive zero gradient would train as a
+//! strictly smaller model without any test noticing.
+
+use amud_repro::core::{paradigm, Adpa, AdpaConfig};
+use amud_repro::datasets::{replica, ReplicaScale};
+use amud_repro::models::registry::{
+    build_model, extra_model_names, is_directed_model, model_names,
+};
+use amud_repro::nn::verify::Severity;
+use amud_repro::train::{verify_model, GraphData};
+
+fn bundle(name: &str, seed: u64) -> GraphData {
+    let d = replica(name, ReplicaScale::tiny(), seed);
+    GraphData::new(
+        &d.graph,
+        d.features.clone(),
+        d.split.train.clone(),
+        d.split.val.clone(),
+        d.split.test.clone(),
+    )
+}
+
+fn assert_clean(name: &str, dataset: &str, diags: &[amud_repro::nn::Diagnostic]) {
+    let findings: Vec<String> =
+        diags.iter().filter(|d| d.severity >= Severity::Warning).map(|d| d.to_string()).collect();
+    assert!(
+        findings.is_empty(),
+        "{name} on {dataset} records a dirty tape:\n{}",
+        findings.join("\n")
+    );
+}
+
+#[test]
+fn every_registry_model_verifies_clean() {
+    // One homophilous and one directed-heterophilous fixture so both code
+    // paths of direction-aware models are exercised.
+    for dataset in ["cora_ml", "chameleon"] {
+        let raw = bundle(dataset, 40);
+        for name in model_names().iter().chain(extra_model_names().iter()) {
+            let input = if is_directed_model(name) { raw.clone() } else { raw.to_undirected() };
+            let model = build_model(name, &input, 0);
+            assert_clean(name, dataset, &verify_model(&*model, &input, 0));
+        }
+    }
+}
+
+#[test]
+fn adpa_verifies_clean_on_both_paradigms() {
+    for dataset in ["cora_ml", "chameleon"] {
+        let raw = bundle(dataset, 41);
+        let (prepared, _, _) = paradigm::prepare_topology(&raw);
+        let model = Adpa::new(&prepared, AdpaConfig::default(), 0);
+        assert_clean("ADPA", dataset, &verify_model(&model, &prepared, 0));
+    }
+}
+
+#[test]
+fn adpa_ablations_verify_clean() {
+    use amud_repro::core::DpAttention;
+    let raw = bundle("chameleon", 42);
+    for variant in [
+        DpAttention::Original,
+        DpAttention::Gate,
+        DpAttention::Recursive,
+        DpAttention::Jk,
+        DpAttention::None,
+    ] {
+        let cfg = AdpaConfig { dp_attention: variant, ..Default::default() };
+        let model = Adpa::new(&raw, cfg, 0);
+        assert_clean(&format!("ADPA/{variant:?}"), "chameleon", &verify_model(&model, &raw, 0));
+    }
+    let no_hop = AdpaConfig { hop_attention: false, ..Default::default() };
+    let model = Adpa::new(&raw, no_hop, 0);
+    assert_clean("ADPA/no-hop", "chameleon", &verify_model(&model, &raw, 0));
+}
