@@ -26,4 +26,9 @@ cargo build --release
 echo "==> cargo test -q"
 cargo test -q
 
+# The fault-injection suite proves every injected failure is recovered or
+# surfaces as a typed error (and pins the CLI exit-code table).
+echo "==> cargo test -q --test fault_injection"
+cargo test -q --test fault_injection
+
 echo "ci: all green"

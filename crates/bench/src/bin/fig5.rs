@@ -11,8 +11,16 @@ fn main() {
     for dataset in ["tolokers", "wikics", "roman_empire", "texas"] {
         println!("\nFig. 5 — {dataset}: validation accuracy by epoch\n");
         let data = load(dataset, 42);
-        let curves: Vec<(&str, TrainResult)> =
-            models.iter().map(|&m| (m, train_curve_for(m, &data, cfg, 0))).collect();
+        let curves: Vec<(&str, TrainResult)> = models
+            .iter()
+            .map(|&m| {
+                let r = train_curve_for(m, &data, cfg, 0).unwrap_or_else(|e| {
+                    eprintln!("error: {m} on {dataset}: {e}");
+                    std::process::exit(e.exit_code())
+                });
+                (m, r)
+            })
+            .collect();
         let header: Vec<String> = models.iter().map(|s| s.to_string()).collect();
         print_row("epoch", &header);
         for epoch in (0..cfg.epochs).step_by(10) {

@@ -29,8 +29,14 @@ fn main() {
     let points = grid.points();
     println!("grid: {} candidates", points.len());
 
-    let base = TrainConfig { epochs: 80, patience: 20, lr: 0.01, weight_decay: 5e-4 };
-    let outcomes = grid_search(&points, |p| {
+    let base = TrainConfig {
+        epochs: 80,
+        patience: 20,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        ..TrainConfig::default()
+    };
+    let report = grid_search(&points, |p| {
         let cfg = AdpaConfig {
             k_steps: p.k_steps,
             classifier_layers: p.mlp_layers,
@@ -39,11 +45,21 @@ fn main() {
             ..Default::default()
         };
         let mut model = Adpa::new(&prepared, cfg, 0);
-        train(&mut model, &prepared, p.train_config(base), 0).best_val_acc
+        train(&mut model, &prepared, p.train_config(base), 0).map(|r| r.best_val_acc)
+    })
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code())
     });
 
+    if !report.failures.is_empty() {
+        println!("\n{} candidate(s) diverged and were skipped:", report.failures.len());
+        for f in &report.failures {
+            println!("  K={} layers={} — {}", f.point.k_steps, f.point.mlp_layers, f.error);
+        }
+    }
     println!("\ntop 5 by validation accuracy:");
-    for o in outcomes.iter().take(5) {
+    for o in report.outcomes.iter().take(5) {
         println!(
             "  val {:.3}  K={} layers={} dropout={:.1} lr={} r={:.1}",
             o.score,
@@ -56,7 +72,10 @@ fn main() {
     }
 
     // Retrain the winner and report the test accuracy.
-    let best = outcomes[0].point;
+    let best = report.best().map(|o| o.point).unwrap_or_else(|| {
+        eprintln!("error: every grid candidate diverged");
+        std::process::exit(6)
+    });
     let cfg = AdpaConfig {
         k_steps: best.k_steps,
         classifier_layers: best.mlp_layers,
@@ -70,6 +89,10 @@ fn main() {
         &prepared,
         best.train_config(TrainConfig { epochs: 200, patience: 30, ..base }),
         0,
-    );
+    )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code())
+    });
     println!("\nbest config test accuracy: {:.3}", result.test_acc);
 }

@@ -49,7 +49,13 @@ pub fn env_epochs(default: usize) -> usize {
 
 /// Default training configuration for table sweeps.
 pub fn sweep_config() -> TrainConfig {
-    TrainConfig { epochs: env_epochs(150), patience: 30, lr: 0.01, weight_decay: 5e-4 }
+    TrainConfig {
+        epochs: env_epochs(150),
+        patience: 30,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        ..TrainConfig::default()
+    }
 }
 
 /// True when the binary was invoked with `--verify-tape`: every model a
@@ -77,6 +83,8 @@ pub fn report_verification(label: &str, model: &dyn amud_train::Model, input: &G
 }
 
 /// Wraps a replica as the harness's [`GraphData`] bundle (directed topology).
+/// Harness binaries have no recovery path for an inconsistent replica, so
+/// this exits with the error's code rather than returning a `Result`.
 pub fn to_graph_data(d: &Dataset) -> GraphData {
     GraphData::new(
         &d.graph,
@@ -85,6 +93,10 @@ pub fn to_graph_data(d: &Dataset) -> GraphData {
         d.split.val.clone(),
         d.split.test.clone(),
     )
+    .unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code())
+    })
 }
 
 /// Loads a named replica at the environment scale.
@@ -239,7 +251,7 @@ Average rank (1 = best):"
     );
     let ranks = average_ranks(&acc_matrix);
     let mut order: Vec<usize> = (0..labels.len()).collect();
-    order.sort_by(|&a, &b| ranks[a].partial_cmp(&ranks[b]).expect("ranks are finite"));
+    order.sort_by(|&a, &b| ranks[a].total_cmp(&ranks[b]));
     for i in order {
         println!("  {:<12} {:.1}", labels[i], ranks[i]);
     }
@@ -252,7 +264,7 @@ pub fn train_curve_for(
     data: &GraphData,
     cfg: TrainConfig,
     seed: u64,
-) -> amud_train::TrainResult {
+) -> Result<amud_train::TrainResult, amud_train::TrainError> {
     use amud_train::train_with_curve;
     if name == "ADPA" {
         let (prepared, _, _) = amud_core::paradigm::prepare_topology(data);

@@ -336,10 +336,11 @@ mod tests {
             d.split.val.clone(),
             d.split.test.clone(),
         )
+        .unwrap()
     }
 
     fn quick_cfg() -> TrainConfig {
-        TrainConfig { epochs: 60, patience: 0, lr: 0.01, weight_decay: 5e-4 }
+        TrainConfig { epochs: 60, patience: 0, lr: 0.01, weight_decay: 5e-4, ..Default::default() }
     }
 
     #[test]
@@ -364,7 +365,7 @@ mod tests {
     fn adpa_beats_chance_on_homophilous_replica() {
         let d = data("cora_ml", 1);
         let mut model = Adpa::new(&d, AdpaConfig::default(), 1);
-        let result = train(&mut model, &d, quick_cfg(), 1);
+        let result = train(&mut model, &d, quick_cfg(), 1).unwrap();
         // 7 classes → chance ≈ 14%.
         assert!(result.test_acc > 0.4, "test accuracy {}", result.test_acc);
     }
@@ -373,7 +374,7 @@ mod tests {
     fn adpa_beats_chance_on_heterophilous_directed_replica() {
         let d = data("chameleon", 2);
         let mut model = Adpa::new(&d, AdpaConfig::default(), 2);
-        let result = train(&mut model, &d, quick_cfg(), 2);
+        let result = train(&mut model, &d, quick_cfg(), 2).unwrap();
         // 5 classes → chance 20%; weak features mean the directed topology
         // must be exploited to clear it.
         assert!(result.test_acc > 0.3, "test accuracy {}", result.test_acc);
@@ -391,7 +392,7 @@ mod tests {
         ] {
             let cfg = AdpaConfig { dp_attention: variant, k_steps: 2, ..Default::default() };
             let mut model = Adpa::new(&d, cfg, 3);
-            let result = train(&mut model, &d, quick_cfg(), 3);
+            let result = train(&mut model, &d, quick_cfg(), 3).unwrap();
             assert!(result.test_acc > 0.2, "{variant:?} accuracy {}", result.test_acc);
         }
     }
@@ -401,7 +402,7 @@ mod tests {
         let d = data("texas", 4);
         let cfg = AdpaConfig { hop_attention: false, ..Default::default() };
         let mut model = Adpa::new(&d, cfg, 4);
-        let result = train(&mut model, &d, quick_cfg(), 4);
+        let result = train(&mut model, &d, quick_cfg(), 4).unwrap();
         assert!(result.test_acc > 0.2);
     }
 

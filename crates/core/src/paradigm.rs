@@ -71,6 +71,7 @@ mod tests {
             d.split.val.clone(),
             d.split.test.clone(),
         )
+        .unwrap()
     }
 
     #[test]

@@ -314,7 +314,7 @@ mod tests {
         let g = cfg.generate(&mut rng(6));
         let counts = g.class_counts().unwrap();
         assert_eq!(counts.iter().sum::<usize>(), 103);
-        assert!(counts.iter().all(|&c| c >= 20 && c <= 21), "{counts:?}");
+        assert!(counts.iter().all(|&c| (20..=21).contains(&c)), "{counts:?}");
     }
 
     #[test]

@@ -1,0 +1,91 @@
+//! Typed errors for dataset loading and parsing (DESIGN.md §8).
+//!
+//! A malformed `.amud` file, an unknown dataset name, or an inconsistent
+//! graph must surface as a [`DatasetError`] the caller can match on —
+//! never a panic and never a silently partial dataset.
+
+use amud_graph::GraphError;
+use std::fmt;
+
+/// Everything that can go wrong materialising a [`crate::Dataset`].
+#[derive(Debug, Clone, PartialEq)]
+pub enum DatasetError {
+    /// The serialized text is malformed; `line` is 1-based.
+    Parse { line: usize, reason: String },
+    /// No compiled-in replica spec carries this name.
+    UnknownDataset { name: String },
+    /// The parsed pieces do not assemble into a consistent graph.
+    Graph(GraphError),
+}
+
+impl DatasetError {
+    /// Convenience constructor for [`DatasetError::Parse`].
+    pub fn parse(line: usize, reason: impl Into<String>) -> Self {
+        DatasetError::Parse { line, reason: reason.into() }
+    }
+
+    /// The process exit code the CLI maps this error onto (see the README
+    /// exit-code table; 4 = dataset parse/validation failure, 3 = unknown
+    /// name, i.e. caller-side bad input).
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            DatasetError::UnknownDataset { .. } => 3,
+            DatasetError::Parse { .. } | DatasetError::Graph(_) => 4,
+        }
+    }
+}
+
+impl fmt::Display for DatasetError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            DatasetError::Parse { line, reason } => {
+                write!(f, "parse error at line {line}: {reason}")
+            }
+            DatasetError::UnknownDataset { name } => {
+                write!(f, "unknown dataset '{name}' (run `amud list` for the available replicas)")
+            }
+            DatasetError::Graph(e) => write!(f, "inconsistent graph: {e}"),
+        }
+    }
+}
+
+impl std::error::Error for DatasetError {
+    fn source(&self) -> Option<&(dyn std::error::Error + 'static)> {
+        match self {
+            DatasetError::Graph(e) => Some(e),
+            _ => None,
+        }
+    }
+}
+
+impl From<GraphError> for DatasetError {
+    fn from(e: GraphError) -> Self {
+        DatasetError::Graph(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn display_carries_line_numbers() {
+        let e = DatasetError::parse(17, "expected an integer node id");
+        assert_eq!(e.to_string(), "parse error at line 17: expected an integer node id");
+        assert_eq!(e.exit_code(), 4);
+    }
+
+    #[test]
+    fn graph_errors_wrap() {
+        let e: DatasetError = GraphError::EmptyGraph.into();
+        assert!(e.to_string().contains("non-empty"));
+        assert_eq!(e.exit_code(), 4);
+    }
+
+    #[test]
+    fn unknown_dataset_names_itself() {
+        let e = DatasetError::UnknownDataset { name: "corra".into() };
+        assert!(e.to_string().contains("corra"));
+        assert_eq!(e.exit_code(), 3);
+    }
+}

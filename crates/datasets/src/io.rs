@@ -12,9 +12,10 @@
 //! feature <node> <v0> <v1> ...
 //! ```
 
-use crate::registry::{spec, Dataset};
+use crate::error::DatasetError;
+use crate::registry::{try_spec, Dataset};
 use crate::splits::Split;
-use amud_graph::{DiGraph, GraphError};
+use amud_graph::DiGraph;
 use amud_nn::DenseMatrix;
 use std::fmt::Write as _;
 
@@ -54,89 +55,228 @@ pub fn dataset_to_text(d: &Dataset) -> String {
     out
 }
 
-/// Parses the text format back into a [`Dataset`].
-pub fn dataset_from_text(text: &str) -> Result<Dataset, GraphError> {
-    let mut lines = text.lines();
-    if lines.next().map(str::trim) != Some("amud-dataset v1") {
-        return Err(GraphError::EmptyGraph);
+/// Parses one whitespace token as `usize`, with a line-anchored error.
+fn parse_usize<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line_no: usize,
+    what: &str,
+) -> Result<usize, DatasetError> {
+    let token =
+        parts.next().ok_or_else(|| DatasetError::parse(line_no, format!("missing {what}")))?;
+    token
+        .parse()
+        .map_err(|_| DatasetError::parse(line_no, format!("{what} '{token}' is not an integer")))
+}
+
+/// Expects the next token to be exactly `keyword`.
+fn expect_keyword<'a>(
+    parts: &mut impl Iterator<Item = &'a str>,
+    line_no: usize,
+    keyword: &str,
+) -> Result<(), DatasetError> {
+    match parts.next() {
+        Some(tok) if tok == keyword => Ok(()),
+        Some(tok) => {
+            Err(DatasetError::parse(line_no, format!("expected '{keyword}', found '{tok}'")))
+        }
+        None => Err(DatasetError::parse(line_no, format!("expected '{keyword}'"))),
     }
-    let mut name = String::new();
-    let mut n = 0usize;
-    let mut c = 0usize;
-    let mut f = 0usize;
+}
+
+/// Parses the text format back into a [`Dataset`]. Truncated or garbage
+/// input yields a line-anchored [`DatasetError`] — never a panic and
+/// never a silently partial dataset.
+pub fn dataset_from_text(text: &str) -> Result<Dataset, DatasetError> {
+    let mut lines = text.lines().enumerate();
+    match lines.next() {
+        Some((_, first)) if first.trim() == "amud-dataset v1" => {}
+        _ => return Err(DatasetError::parse(1, "missing 'amud-dataset v1' header")),
+    }
+    let mut name: Option<String> = None;
+    let mut dims: Option<(usize, usize, usize)> = None; // (nodes, classes, features)
     let mut labels: Vec<usize> = Vec::new();
+    let mut labeled: Vec<bool> = Vec::new();
     let mut edges: Vec<(usize, usize)> = Vec::new();
     let mut split = Split { train: Vec::new(), val: Vec::new(), test: Vec::new() };
+    let mut split_seen = [false; 3]; // train, val, test records present
     let mut feature_rows: Vec<(usize, Vec<f32>)> = Vec::new();
+    let mut has_feature: Vec<bool> = Vec::new();
 
-    for line in lines {
+    for (idx, line) in lines {
+        let line_no = idx + 1;
         let line = line.trim();
         if line.is_empty() || line.starts_with('#') {
             continue;
         }
         let mut parts = line.split_whitespace();
-        match parts.next() {
-            Some("name") => name = parts.next().unwrap_or_default().to_string(),
-            Some("nodes") => {
-                n = parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
-                let _ = parts.next(); // "classes"
-                c = parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
-                let _ = parts.next(); // "features"
-                f = parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
-                labels = vec![0usize; n];
+        let keyword = parts.next().unwrap_or_default();
+        // Every record except `name` needs the `nodes` header first so it
+        // can be bounds-checked immediately.
+        let require_dims = |dims: Option<(usize, usize, usize)>| {
+            dims.ok_or_else(|| {
+                DatasetError::parse(
+                    line_no,
+                    format!("'{keyword}' record before the 'nodes … classes … features …' header"),
+                )
+            })
+        };
+        match keyword {
+            "name" => {
+                let value = parts
+                    .next()
+                    .ok_or_else(|| DatasetError::parse(line_no, "missing dataset name"))?;
+                name = Some(value.to_string());
             }
-            Some("label") => {
-                let v: usize =
-                    parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
-                let y: usize =
-                    parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
+            "nodes" => {
+                if dims.is_some() {
+                    return Err(DatasetError::parse(line_no, "duplicate 'nodes' header"));
+                }
+                let n = parse_usize(&mut parts, line_no, "node count")?;
+                expect_keyword(&mut parts, line_no, "classes")?;
+                let c = parse_usize(&mut parts, line_no, "class count")?;
+                expect_keyword(&mut parts, line_no, "features")?;
+                let f = parse_usize(&mut parts, line_no, "feature count")?;
+                if c == 0 {
+                    return Err(DatasetError::parse(line_no, "class count must be >= 1"));
+                }
+                dims = Some((n, c, f));
+                labels = vec![0usize; n];
+                labeled = vec![false; n];
+                has_feature = vec![false; n];
+            }
+            "label" => {
+                let (n, c, _) = require_dims(dims)?;
+                let v = parse_usize(&mut parts, line_no, "node id")?;
+                let y = parse_usize(&mut parts, line_no, "class id")?;
                 if v >= n {
-                    return Err(GraphError::NodeOutOfBounds { node: v, n });
+                    return Err(DatasetError::parse(
+                        line_no,
+                        format!("node id {v} out of range for {n} nodes"),
+                    ));
+                }
+                if y >= c {
+                    return Err(DatasetError::parse(
+                        line_no,
+                        format!("class id {y} out of range for {c} classes"),
+                    ));
                 }
                 labels[v] = y;
+                labeled[v] = true;
             }
-            Some("edge") => {
-                let u: usize =
-                    parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
-                let v: usize =
-                    parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
+            "edge" => {
+                let (n, _, _) = require_dims(dims)?;
+                let u = parse_usize(&mut parts, line_no, "source node id")?;
+                let v = parse_usize(&mut parts, line_no, "target node id")?;
+                if u >= n || v >= n {
+                    return Err(DatasetError::parse(
+                        line_no,
+                        format!("edge ({u}, {v}) out of range for {n} nodes"),
+                    ));
+                }
                 edges.push((u, v));
             }
-            Some("split") => {
-                let which = parts.next().ok_or(GraphError::EmptyGraph)?;
-                let ids: Vec<usize> = parts.filter_map(|s| s.parse().ok()).collect();
+            "split" => {
+                let (n, _, _) = require_dims(dims)?;
+                let which = parts
+                    .next()
+                    .ok_or_else(|| DatasetError::parse(line_no, "missing split kind"))?;
+                let mut ids = Vec::new();
+                for tok in parts {
+                    let id: usize = tok.parse().map_err(|_| {
+                        DatasetError::parse(line_no, format!("split id '{tok}' is not an integer"))
+                    })?;
+                    if id >= n {
+                        return Err(DatasetError::parse(
+                            line_no,
+                            format!("split id {id} out of range for {n} nodes"),
+                        ));
+                    }
+                    ids.push(id);
+                }
                 match which {
-                    "train" => split.train = ids,
-                    "val" => split.val = ids,
-                    "test" => split.test = ids,
-                    _ => return Err(GraphError::EmptyGraph),
+                    "train" => {
+                        split.train = ids;
+                        split_seen[0] = true;
+                    }
+                    "val" => {
+                        split.val = ids;
+                        split_seen[1] = true;
+                    }
+                    "test" => {
+                        split.test = ids;
+                        split_seen[2] = true;
+                    }
+                    other => {
+                        return Err(DatasetError::parse(
+                            line_no,
+                            format!("unknown split kind '{other}' (train|val|test)"),
+                        ))
+                    }
                 }
             }
-            Some("feature") => {
-                let v: usize =
-                    parts.next().and_then(|s| s.parse().ok()).ok_or(GraphError::EmptyGraph)?;
-                let row: Vec<f32> = parts.filter_map(|s| s.parse().ok()).collect();
+            "feature" => {
+                let (n, _, f) = require_dims(dims)?;
+                let v = parse_usize(&mut parts, line_no, "node id")?;
+                if v >= n {
+                    return Err(DatasetError::parse(
+                        line_no,
+                        format!("node id {v} out of range for {n} nodes"),
+                    ));
+                }
+                let mut row = Vec::with_capacity(f);
+                for tok in parts {
+                    let x: f32 = tok.parse().map_err(|_| {
+                        DatasetError::parse(
+                            line_no,
+                            format!("feature value '{tok}' is not a number"),
+                        )
+                    })?;
+                    if !x.is_finite() {
+                        return Err(DatasetError::parse(
+                            line_no,
+                            format!("feature value '{tok}' is not finite"),
+                        ));
+                    }
+                    row.push(x);
+                }
                 if row.len() != f {
-                    return Err(GraphError::DimensionMismatch {
-                        expected: (1, f),
-                        got: (1, row.len()),
-                    });
+                    return Err(DatasetError::parse(
+                        line_no,
+                        format!("feature row has {} value(s), expected {f}", row.len()),
+                    ));
                 }
                 feature_rows.push((v, row));
+                has_feature[v] = true;
             }
-            _ => return Err(GraphError::EmptyGraph),
+            other => return Err(DatasetError::parse(line_no, format!("unknown record '{other}'"))),
         }
     }
 
+    let name = name.ok_or_else(|| DatasetError::parse(1, "missing 'name' record"))?;
+    let (n, c, f) = dims
+        .ok_or_else(|| DatasetError::parse(1, "missing 'nodes … classes … features …' header"))?;
+    // Completeness: a file that merely *stops* (half-written, truncated)
+    // must not come back as a silently partial dataset. Errors anchor to
+    // the last line, where the missing records would have been.
+    let end = text.lines().count().max(1);
+    if let Some(v) = labeled.iter().position(|&seen| !seen) {
+        return Err(DatasetError::parse(end, format!("node {v} has no 'label' record")));
+    }
+    if let Some(v) = has_feature.iter().position(|&seen| !seen) {
+        return Err(DatasetError::parse(end, format!("node {v} has no 'feature' record")));
+    }
+    for (tag, seen) in ["train", "val", "test"].iter().zip(split_seen) {
+        if !seen {
+            return Err(DatasetError::parse(end, format!("missing 'split {tag}' record")));
+        }
+    }
+    let spec = try_spec(&name)?;
     let graph = DiGraph::from_edges(n, edges)?.with_labels(labels, c)?;
     let mut features = DenseMatrix::zeros(n, f);
     for (v, row) in feature_rows {
-        if v >= n {
-            return Err(GraphError::NodeOutOfBounds { node: v, n });
-        }
         features.row_mut(v).copy_from_slice(&row);
     }
-    Ok(Dataset { spec: spec(&name), graph, features, split })
+    Ok(Dataset { spec, graph, features, split })
 }
 
 #[cfg(test)]
@@ -161,7 +301,12 @@ mod tests {
 
     #[test]
     fn version_line_is_mandatory() {
-        assert!(dataset_from_text("name texas\n").is_err());
+        match dataset_from_text("name texas\n") {
+            Err(DatasetError::Parse { line: 1, reason }) => {
+                assert!(reason.contains("header"), "{reason}")
+            }
+            other => panic!("expected a line-1 parse error, got {other:?}"),
+        }
     }
 
     #[test]
@@ -169,6 +314,88 @@ mod tests {
         let d = replica("texas", ReplicaScale::tiny(), 6);
         let mut text = dataset_to_text(&d);
         text.push_str("feature 0 1.0\n"); // wrong width
-        assert!(dataset_from_text(&text).is_err());
+        assert!(matches!(dataset_from_text(&text), Err(DatasetError::Parse { .. })));
+    }
+
+    #[test]
+    fn truncated_input_is_a_typed_error() {
+        let d = replica("texas", ReplicaScale::tiny(), 6);
+        let text = dataset_to_text(&d);
+        // Cut mid-keyword: the parser must reject the ragged record, not
+        // return a partial dataset or panic.
+        let at = text.find("\nsplit ").unwrap();
+        let cut = &text[..at + "\nspl".len()];
+        assert!(matches!(dataset_from_text(cut), Err(DatasetError::Parse { .. })));
+    }
+
+    #[test]
+    fn cleanly_truncated_input_is_still_rejected() {
+        // A file cut exactly at a line boundary parses record-by-record
+        // without a syntax error — the completeness check must catch the
+        // missing tail instead of returning a partial dataset.
+        let d = replica("texas", ReplicaScale::tiny(), 6);
+        let text = dataset_to_text(&d);
+        let at = text.find("\nfeature 1 ").unwrap();
+        let cut = &text[..at + 1]; // ends after the "feature 0 …" line
+        match dataset_from_text(cut) {
+            Err(DatasetError::Parse { reason, .. }) => {
+                assert!(reason.contains("no 'feature' record"), "{reason}")
+            }
+            other => panic!("expected a completeness error, got {other:?}"),
+        }
+        // Same for a file that stops before the split records.
+        let at = text.find("\nsplit ").unwrap();
+        let cut = &text[..at + 1];
+        match dataset_from_text(cut) {
+            Err(DatasetError::Parse { reason, .. }) => {
+                assert!(reason.contains("record"), "{reason}")
+            }
+            other => panic!("expected a completeness error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn garbage_tokens_carry_line_numbers() {
+        let text = "amud-dataset v1\nname texas\nnodes 3 classes 2 features 1\nlabel zero 1\n";
+        match dataset_from_text(text) {
+            Err(DatasetError::Parse { line: 4, reason }) => {
+                assert!(reason.contains("zero"), "{reason}")
+            }
+            other => panic!("expected a line-4 parse error, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn out_of_range_records_are_rejected() {
+        let base = "amud-dataset v1\nname texas\nnodes 3 classes 2 features 1\n";
+        for bad in [
+            "label 9 0\n",     // node out of range
+            "label 0 7\n",     // class out of range
+            "edge 0 9\n",      // edge endpoint out of range
+            "split train 9\n", // split id out of range
+            "feature 9 1.0\n", // feature node out of range
+            "feature 0 NaN\n", // non-finite feature value
+            "wibble 1 2\n",    // unknown record
+        ] {
+            let text = format!("{base}{bad}");
+            assert!(
+                matches!(dataset_from_text(&text), Err(DatasetError::Parse { line: 4, .. })),
+                "input {bad:?} must fail on line 4"
+            );
+        }
+    }
+
+    #[test]
+    fn records_before_the_header_are_rejected() {
+        let text = "amud-dataset v1\nname texas\nlabel 0 0\n";
+        assert!(matches!(dataset_from_text(text), Err(DatasetError::Parse { line: 3, .. })));
+    }
+
+    #[test]
+    fn unknown_dataset_name_is_typed() {
+        let text = "amud-dataset v1\nname not_a_dataset\nnodes 2 classes 2 features 1\n\
+                    label 0 0\nlabel 1 1\nedge 0 1\nsplit train 0\nsplit val 1\nsplit test\n\
+                    feature 0 1\nfeature 1 0\n";
+        assert!(matches!(dataset_from_text(text), Err(DatasetError::UnknownDataset { .. })));
     }
 }

@@ -438,19 +438,37 @@ pub fn all_specs() -> Vec<ReplicaSpec> {
     ]
 }
 
-/// The spec for a named dataset.
-///
-/// # Panics
-/// Panics on an unknown name; valid names are the `snake_case` dataset
-/// identifiers from [`all_specs`].
-pub fn spec(name: &str) -> ReplicaSpec {
+/// The spec for a named dataset, as a typed error on unknown names;
+/// valid names are the `snake_case` dataset identifiers from
+/// [`all_specs`].
+pub fn try_spec(name: &str) -> Result<ReplicaSpec, crate::error::DatasetError> {
     all_specs()
         .into_iter()
         .find(|s| s.name == name)
-        .unwrap_or_else(|| panic!("unknown dataset '{name}'"))
+        .ok_or_else(|| crate::error::DatasetError::UnknownDataset { name: name.to_string() })
+}
+
+/// The spec for a named dataset.
+///
+/// # Panics
+/// Panics on an unknown name — use [`try_spec`] for the fallible form.
+pub fn spec(name: &str) -> ReplicaSpec {
+    try_spec(name).unwrap_or_else(|e| panic!("{e}"))
+}
+
+/// Generates a named replica, as a typed error on unknown names.
+pub fn try_replica(
+    name: &str,
+    scale: ReplicaScale,
+    seed: u64,
+) -> Result<Dataset, crate::error::DatasetError> {
+    Ok(Dataset::generate(try_spec(name)?, scale, seed))
 }
 
 /// Generates a named replica.
+///
+/// # Panics
+/// Panics on an unknown name — use [`try_replica`] for the fallible form.
 pub fn replica(name: &str, scale: ReplicaScale, seed: u64) -> Dataset {
     Dataset::generate(spec(name), scale, seed)
 }

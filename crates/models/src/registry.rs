@@ -90,12 +90,19 @@ pub mod tests_support {
             d.split.val.clone(),
             d.split.test.clone(),
         )
+        .unwrap()
     }
 
     /// Short training run; returns test accuracy.
     pub fn quick_train(model: &mut dyn Model, data: &GraphData, seed: u64) -> f64 {
-        let cfg = TrainConfig { epochs: 60, patience: 0, lr: 0.01, weight_decay: 5e-4 };
-        train(model, data, cfg, seed).test_acc
+        let cfg = TrainConfig {
+            epochs: 60,
+            patience: 0,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            ..TrainConfig::default()
+        };
+        train(model, data, cfg, seed).unwrap().test_acc
     }
 }
 

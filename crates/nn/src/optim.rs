@@ -88,6 +88,21 @@ impl ParamBank {
         }
     }
 
+    /// Multiplies every gradient buffer by `factor` (fault injection and
+    /// manual loss scaling; `NaN` poisons every gradient).
+    pub fn scale_grads(&mut self, factor: f32) {
+        for p in &mut self.params {
+            for g in p.grad.as_mut_slice() {
+                *g *= factor;
+            }
+        }
+    }
+
+    /// Whether every parameter *value* is finite (post-update health check).
+    pub fn values_finite(&self) -> bool {
+        self.params.iter().all(|p| p.value.as_slice().iter().all(|v| v.is_finite()))
+    }
+
     /// Global L2 norm of all gradients (for clipping / diagnostics).
     pub fn grad_norm(&self) -> f32 {
         self.params

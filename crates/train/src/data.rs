@@ -1,5 +1,6 @@
 //! The data bundle consumed by every model.
 
+use crate::error::TrainError;
 use amud_graph::{CsrMatrix, DiGraph};
 use amud_nn::DenseMatrix;
 use std::rc::Rc;
@@ -22,30 +23,55 @@ pub struct GraphData {
 }
 
 impl GraphData {
-    /// Assembles the bundle from parts, validating shapes.
-    ///
-    /// # Panics
-    /// Panics on inconsistent node counts.
+    /// Assembles the bundle from parts, validating shapes, labels, and
+    /// split indices. Every inconsistency is a typed
+    /// [`TrainError::BadInput`] — never a panic.
     pub fn new(
         graph: &DiGraph,
         features: DenseMatrix,
         train: Vec<usize>,
         val: Vec<usize>,
         test: Vec<usize>,
-    ) -> Self {
+    ) -> Result<Self, TrainError> {
         let n = graph.n_nodes();
-        assert_eq!(features.rows(), n, "feature rows must equal node count");
-        let labels = graph.labels().expect("GraphData requires labelled graphs").to_vec();
-        assert!(!train.is_empty(), "training set must not be empty");
-        Self {
+        if features.rows() != n {
+            return Err(TrainError::bad_input(format!(
+                "feature rows {} must equal node count {n}",
+                features.rows()
+            )));
+        }
+        let labels = graph
+            .labels()
+            .ok_or_else(|| TrainError::bad_input("GraphData requires labelled graphs"))?
+            .to_vec();
+        let n_classes = graph.n_classes();
+        if let Some(&y) = labels.iter().find(|&&y| y >= n_classes) {
+            return Err(TrainError::bad_input(format!(
+                "label {y} out of range for {n_classes} classes"
+            )));
+        }
+        if train.is_empty() {
+            return Err(TrainError::bad_input("training set must not be empty"));
+        }
+        for (name, ids) in [("train", &train), ("val", &val), ("test", &test)] {
+            if let Some(&v) = ids.iter().find(|&&v| v >= n) {
+                return Err(TrainError::bad_input(format!(
+                    "{name} split references node {v}, but the graph has {n} nodes"
+                )));
+            }
+        }
+        if !features.as_slice().iter().all(|x| x.is_finite()) {
+            return Err(TrainError::bad_input("features contain non-finite values"));
+        }
+        Ok(Self {
             adj: graph.adjacency().clone(),
             features,
             labels: Rc::new(labels),
-            n_classes: graph.n_classes(),
+            n_classes,
             train: Rc::new(train),
             val: Rc::new(val),
             test: Rc::new(test),
-        }
+        })
     }
 
     pub fn n_nodes(&self) -> usize {
@@ -58,7 +84,11 @@ impl GraphData {
 
     /// The coarse undirected transformation of the bundle.
     pub fn to_undirected(&self) -> GraphData {
-        let adj = self.adj.bool_union(&self.adj.transpose()).expect("A and Aᵀ share a shape");
+        let adj = match self.adj.bool_union(&self.adj.transpose()) {
+            Ok(adj) => adj,
+            // A square matrix always shares its transpose's shape.
+            Err(_) => unreachable!("A and Aᵀ share a shape by construction"),
+        };
         GraphData { adj, ..self.clone() }
     }
 
@@ -79,7 +109,7 @@ mod tests {
             .with_labels(vec![0, 1, 0, 1], 2)
             .unwrap();
         let x = DenseMatrix::ones(4, 3);
-        GraphData::new(&g, x, vec![0, 1], vec![2], vec![3])
+        GraphData::new(&g, x, vec![0, 1], vec![2], vec![3]).unwrap()
     }
 
     #[test]
@@ -100,9 +130,30 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "training set must not be empty")]
     fn empty_train_rejected() {
         let g = DiGraph::from_edges(2, vec![(0, 1)]).unwrap().with_labels(vec![0, 1], 2).unwrap();
-        let _ = GraphData::new(&g, DenseMatrix::ones(2, 1), vec![], vec![0], vec![1]);
+        let err = GraphData::new(&g, DenseMatrix::ones(2, 1), vec![], vec![0], vec![1]);
+        assert!(matches!(err, Err(crate::TrainError::BadInput { .. })), "{err:?}");
+    }
+
+    #[test]
+    fn out_of_range_split_rejected() {
+        let g = DiGraph::from_edges(2, vec![(0, 1)]).unwrap().with_labels(vec![0, 1], 2).unwrap();
+        let err = GraphData::new(&g, DenseMatrix::ones(2, 1), vec![0], vec![1], vec![99]);
+        match err {
+            Err(crate::TrainError::BadInput { reason }) => {
+                assert!(reason.contains("test split"), "{reason}")
+            }
+            other => panic!("expected BadInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn non_finite_features_rejected() {
+        let g = DiGraph::from_edges(2, vec![(0, 1)]).unwrap().with_labels(vec![0, 1], 2).unwrap();
+        let mut x = DenseMatrix::ones(2, 1);
+        x.as_mut_slice()[0] = f32::NAN;
+        let err = GraphData::new(&g, x, vec![0], vec![1], vec![]);
+        assert!(matches!(err, Err(crate::TrainError::BadInput { .. })), "{err:?}");
     }
 }

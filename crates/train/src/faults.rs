@@ -1,0 +1,155 @@
+//! Deterministic fault injection for the trainer (DESIGN.md §8.3).
+//!
+//! A [`FaultPlan`] names the exact epochs at which numerical faults are
+//! injected into a training run — a NaN loss, a gradient spike, or a
+//! persistent divergence — so the recovery machinery (snapshot rollback +
+//! learning-rate backoff, see [`crate::trainer`]) can be exercised on
+//! every CI run instead of waiting for a heterophilic graph to blow up a
+//! spectral model in production. Plans are plain data: the same plan on
+//! the same seed reproduces the same failure byte-for-byte.
+//!
+//! [`corrupt_bytes`] is the input-side counterpart: a deterministic byte
+//! mutator for serialized datasets, used to prove the `.amud` parser
+//! rejects garbage with a typed error instead of panicking.
+
+/// One injected fault, anchored to a training epoch.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum Fault {
+    /// Replace the training loss with NaN and poison the accumulated
+    /// gradients at exactly this epoch (a one-off numerical glitch — the
+    /// recovery policy should roll back and continue).
+    NanLoss { epoch: usize },
+    /// Replace the loss with NaN at this epoch **and every later one** —
+    /// an unrecoverable divergence that must exhaust the retry budget and
+    /// surface as [`crate::TrainError::NonFiniteLoss`].
+    PersistentNanLoss { from_epoch: usize },
+    /// Multiply every accumulated gradient by `factor` at this epoch,
+    /// simulating an exploding backward pass.
+    GradientSpike { epoch: usize, factor: f32 },
+}
+
+/// A deterministic schedule of injected faults for one training run.
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct FaultPlan {
+    faults: Vec<Fault>,
+}
+
+impl FaultPlan {
+    /// An empty plan (injects nothing).
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Builder-style: adds one fault to the schedule.
+    pub fn with(mut self, fault: Fault) -> Self {
+        self.faults.push(fault);
+        self
+    }
+
+    /// Whether the plan injects anything at all.
+    pub fn is_empty(&self) -> bool {
+        self.faults.is_empty()
+    }
+
+    /// The scheduled faults.
+    pub fn faults(&self) -> &[Fault] {
+        &self.faults
+    }
+
+    /// Whether a NaN loss is injected at `epoch`.
+    pub fn nan_loss_at(&self, epoch: usize) -> bool {
+        self.faults.iter().any(|f| match *f {
+            Fault::NanLoss { epoch: e } => e == epoch,
+            Fault::PersistentNanLoss { from_epoch } => epoch >= from_epoch,
+            Fault::GradientSpike { .. } => false,
+        })
+    }
+
+    /// The combined gradient-spike factor injected at `epoch` (1.0 when
+    /// none is scheduled).
+    pub fn grad_factor_at(&self, epoch: usize) -> f32 {
+        self.faults
+            .iter()
+            .filter_map(|f| match *f {
+                Fault::GradientSpike { epoch: e, factor } if e == epoch => Some(factor),
+                _ => None,
+            })
+            .product()
+    }
+}
+
+/// Deterministically mutates `n_mutations` bytes of a serialized dataset
+/// (xorshift-seeded), returning the corrupted text. Multi-byte UTF-8
+/// sequences are sidestepped by mutating into the printable ASCII range,
+/// which keeps the result a valid `str` while still producing garbage
+/// tokens, swapped digits, and broken keywords for the parser to choke on.
+pub fn corrupt_bytes(text: &str, seed: u64, n_mutations: usize) -> String {
+    let mut bytes = text.as_bytes().to_vec();
+    if bytes.is_empty() {
+        return String::new();
+    }
+    let mut state = seed | 1;
+    let mut next = move || {
+        // xorshift64* — self-contained so the harness needs no RNG crate.
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    for _ in 0..n_mutations {
+        let idx = (next() as usize) % bytes.len();
+        bytes[idx] = b'!' + (next() % 94) as u8; // printable ASCII 0x21..=0x7E
+    }
+    // All mutations land in single-byte ASCII, so the buffer stays UTF-8.
+    String::from_utf8_lossy(&bytes).into_owned()
+}
+
+/// Deterministically truncates the text to `fraction` of its length —
+/// the "half-written file" corruption class.
+pub fn truncate_fraction(text: &str, fraction: f64) -> String {
+    let keep = ((text.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+    text.chars().take(keep).collect()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn plan_schedules_faults_at_epochs() {
+        let plan = FaultPlan::new()
+            .with(Fault::NanLoss { epoch: 3 })
+            .with(Fault::GradientSpike { epoch: 5, factor: 1e6 });
+        assert!(plan.nan_loss_at(3));
+        assert!(!plan.nan_loss_at(4));
+        assert_eq!(plan.grad_factor_at(5), 1e6);
+        assert_eq!(plan.grad_factor_at(3), 1.0);
+    }
+
+    #[test]
+    fn persistent_nan_covers_all_later_epochs() {
+        let plan = FaultPlan::new().with(Fault::PersistentNanLoss { from_epoch: 10 });
+        assert!(!plan.nan_loss_at(9));
+        assert!(plan.nan_loss_at(10));
+        assert!(plan.nan_loss_at(500));
+    }
+
+    #[test]
+    fn corruption_is_deterministic_and_utf8() {
+        let text = "amud-dataset v1\nname texas\nnodes 3 classes 2 features 1\n";
+        let a = corrupt_bytes(text, 7, 5);
+        let b = corrupt_bytes(text, 7, 5);
+        assert_eq!(a, b, "same seed must corrupt identically");
+        let c = corrupt_bytes(text, 8, 5);
+        assert_ne!(a, c, "different seeds must diverge");
+        assert_eq!(a.len(), text.len());
+    }
+
+    #[test]
+    fn truncation_shortens() {
+        let text = "0123456789";
+        assert_eq!(truncate_fraction(text, 0.5), "01234");
+        assert_eq!(truncate_fraction(text, 0.0), "");
+        assert_eq!(truncate_fraction(text, 1.0), text);
+    }
+}

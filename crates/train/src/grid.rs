@@ -5,6 +5,7 @@
 //! exactly that space, and [`grid_search`] evaluates an arbitrary
 //! user-supplied objective over any candidate list.
 
+use crate::error::TrainError;
 use crate::trainer::TrainConfig;
 
 /// A candidate hyperparameter assignment drawn from [`HyperGrid`].
@@ -100,26 +101,59 @@ pub struct GridOutcome {
     pub score: f64,
 }
 
-/// Evaluates `objective` at every point and returns all outcomes sorted
-/// best-first, ties broken by grid order (deterministic).
-///
-/// # Panics
-/// Panics on an empty candidate list or a NaN objective.
+/// One candidate's failure inside a sweep (the grid's failure manifest).
+#[derive(Debug, Clone)]
+pub struct GridFailure {
+    pub point: HyperPoint,
+    pub error: TrainError,
+}
+
+/// The full sweep outcome: scored candidates best-first plus the
+/// candidates whose evaluation failed.
+#[derive(Debug, Clone)]
+pub struct GridReport {
+    /// Successful evaluations, sorted best-first (ties broken by grid
+    /// order — deterministic).
+    pub outcomes: Vec<GridOutcome>,
+    /// Candidates whose objective returned a typed error or a non-finite
+    /// score. The sweep continues past them.
+    pub failures: Vec<GridFailure>,
+}
+
+impl GridReport {
+    /// The best-scoring successful candidate, if any survived.
+    pub fn best(&self) -> Option<&GridOutcome> {
+        self.outcomes.first()
+    }
+}
+
+/// Evaluates `objective` at every point, recording failed candidates in
+/// the report's failure manifest instead of aborting the sweep. Returns
+/// `Err` only when the candidate list itself is empty.
 pub fn grid_search(
     points: &[HyperPoint],
-    mut objective: impl FnMut(&HyperPoint) -> f64,
-) -> Vec<GridOutcome> {
-    assert!(!points.is_empty(), "grid search needs at least one candidate");
-    let mut outcomes: Vec<GridOutcome> = points
-        .iter()
-        .map(|&point| {
-            let score = objective(&point);
-            assert!(!score.is_nan(), "objective must not be NaN at {point:?}");
-            GridOutcome { point, score }
-        })
-        .collect();
-    outcomes.sort_by(|a, b| b.score.partial_cmp(&a.score).expect("no NaN scores"));
-    outcomes
+    mut objective: impl FnMut(&HyperPoint) -> Result<f64, TrainError>,
+) -> Result<GridReport, TrainError> {
+    if points.is_empty() {
+        return Err(TrainError::bad_input("grid search needs at least one candidate"));
+    }
+    let mut outcomes: Vec<GridOutcome> = Vec::with_capacity(points.len());
+    let mut failures: Vec<GridFailure> = Vec::new();
+    for &point in points {
+        match objective(&point) {
+            Ok(score) if score.is_finite() => outcomes.push(GridOutcome { point, score }),
+            Ok(score) => failures.push(GridFailure {
+                point,
+                error: TrainError::bad_input(format!(
+                    "objective returned a non-finite score {score} at {point:?}"
+                )),
+            }),
+            Err(error) => failures.push(GridFailure { point, error }),
+        }
+    }
+    // All scores are finite here, so total order == partial order.
+    outcomes.sort_by(|a, b| b.score.total_cmp(&a.score));
+    Ok(GridReport { outcomes, failures })
 }
 
 #[cfg(test)]
@@ -144,14 +178,40 @@ mod tests {
         let g = HyperGrid::coarse();
         let points = g.points();
         // Objective peaks at k_steps = 3, dropout = 0.4.
-        let best = grid_search(&points, |p| {
-            -((p.k_steps as f64 - 3.0).powi(2)) - (p.dropout as f64 - 0.4).powi(2)
-        });
+        let report = grid_search(&points, |p| {
+            Ok(-((p.k_steps as f64 - 3.0).powi(2)) - (p.dropout as f64 - 0.4).powi(2))
+        })
+        .unwrap();
+        let best = &report.outcomes;
         assert_eq!(best[0].point.k_steps, 3);
         assert!((best[0].point.dropout - 0.4).abs() < 1e-6);
         assert_eq!(best.len(), points.len());
+        assert!(report.failures.is_empty());
         // Sorted best-first.
         assert!(best.windows(2).all(|w| w[0].score >= w[1].score));
+    }
+
+    #[test]
+    fn grid_search_records_failures_and_continues() {
+        let g = HyperGrid::coarse();
+        let points = g.points();
+        // Every k_steps = 3 candidate "diverges"; NaN scores are demoted
+        // to the failure manifest too.
+        let report = grid_search(&points, |p| {
+            if p.k_steps == 3 {
+                Err(TrainError::NonFiniteLoss { epoch: 5, retries: 2 })
+            } else if p.dropout > 0.3 {
+                Ok(f64::NAN)
+            } else {
+                Ok(p.dropout as f64)
+            }
+        })
+        .unwrap();
+        assert!(!report.outcomes.is_empty());
+        assert!(!report.failures.is_empty());
+        assert_eq!(report.outcomes.len() + report.failures.len(), points.len());
+        assert!(report.outcomes.iter().all(|o| o.score.is_finite()));
+        assert!(report.best().is_some());
     }
 
     #[test]
@@ -163,8 +223,10 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "at least one candidate")]
-    fn empty_grid_panics() {
-        let _ = grid_search(&[], |_| 0.0);
+    fn empty_grid_is_bad_input() {
+        match grid_search(&[], |_| Ok(0.0)) {
+            Err(TrainError::BadInput { .. }) => {}
+            other => panic!("expected BadInput, got {other:?}"),
+        }
     }
 }

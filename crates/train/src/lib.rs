@@ -9,21 +9,31 @@
 //! * [`trainer`] — Adam training loop with early stopping on validation
 //!   accuracy, epoch curves (Fig. 5) and seeded repeats (the paper's
 //!   "repeat each experiment 10 times" protocol);
-//! * [`metrics`] — accuracy and mean±std summaries;
+//! * [`metrics`] — accuracy and mean±std summaries (with failed-run
+//!   accounting);
 //! * [`grid`] — deterministic hyperparameter grid search over the paper's
-//!   Sec. V-A search space.
+//!   Sec. V-A search space, with a per-candidate failure manifest;
+//! * [`error`] — the typed [`TrainError`] taxonomy every fallible path
+//!   reports through (DESIGN.md §8);
+//! * [`faults`] — the deterministic fault-injection harness exercising
+//!   the trainer's divergence recovery (snapshot rollback + LR backoff).
 
 pub mod data;
+pub mod error;
+pub mod faults;
 pub mod grid;
 pub mod metrics;
 pub mod model;
 pub mod trainer;
 
 pub use data::GraphData;
-pub use grid::{grid_search, GridOutcome, HyperGrid, HyperPoint};
+pub use error::TrainError;
+pub use faults::{corrupt_bytes, truncate_fraction, Fault, FaultPlan};
+pub use grid::{grid_search, GridFailure, GridOutcome, GridReport, HyperGrid, HyperPoint};
 pub use metrics::{accuracy, binary_auc, confusion_matrix, macro_f1, Summary};
 pub use model::Model;
 pub use trainer::{
-    repeat_runs, train, train_with_curve, verify_model, RepeatOutcome, TrainConfig, TrainCurve,
-    TrainResult,
+    repeat_runs, repeat_runs_with_faults, train, train_with_curve, train_with_faults, verify_model,
+    HealthViolation, RecoveryEvent, RecoveryReport, RepeatOutcome, SeedFailure, TrainConfig,
+    TrainCurve, TrainResult,
 };

@@ -13,17 +13,34 @@ pub fn accuracy(logits: &DenseMatrix, labels: &[usize], indices: &[usize]) -> f6
 }
 
 /// Mean ± sample standard deviation over repeated runs, as reported in the
-/// paper's tables (`84.5±0.6` style).
+/// paper's tables (`84.5±0.6` style), plus failed-run accounting so a
+/// sweep with diverged seeds still summarises the survivors.
 #[derive(Debug, Clone, PartialEq)]
 pub struct Summary {
+    /// Mean over the successful runs (`NaN` when there are none).
     pub mean: f64,
+    /// Sample standard deviation over the successful runs (`0` for a
+    /// single run, `NaN` when there are none).
     pub std: f64,
+    /// The successful runs' metric values.
     pub runs: Vec<f64>,
+    /// Runs that failed with a typed error and were excluded.
+    pub n_failed: usize,
 }
 
 impl Summary {
+    /// Summarises a set of successful runs (no failures).
     pub fn from_runs(runs: Vec<f64>) -> Summary {
-        assert!(!runs.is_empty(), "summary needs at least one run");
+        Summary::from_outcomes(runs, 0)
+    }
+
+    /// Summarises the successful runs of a sweep in which `n_failed`
+    /// further runs failed. An empty run set yields `NaN` statistics and
+    /// renders as `n/a` — never a panic.
+    pub fn from_outcomes(runs: Vec<f64>, n_failed: usize) -> Summary {
+        if runs.is_empty() {
+            return Summary { mean: f64::NAN, std: f64::NAN, runs, n_failed };
+        }
         let n = runs.len() as f64;
         let mean = runs.iter().sum::<f64>() / n;
         let var = if runs.len() > 1 {
@@ -31,22 +48,43 @@ impl Summary {
         } else {
             0.0
         };
-        Summary { mean, std: var.sqrt(), runs }
+        Summary { mean, std: var.sqrt(), runs, n_failed }
+    }
+
+    /// Runs attempted: successes plus failures.
+    pub fn n_attempted(&self) -> usize {
+        self.runs.len() + self.n_failed
+    }
+
+    /// Whether no run at all succeeded.
+    pub fn is_empty(&self) -> bool {
+        self.runs.is_empty()
     }
 }
 
 impl std::fmt::Display for Summary {
-    /// Formats as percentage, e.g. `84.5±0.6`.
+    /// Formats as percentage, e.g. `84.5±0.6`; a sweep with failures is
+    /// annotated `84.5±0.6 (9/10)`, a fully failed one renders `n/a (0/3)`.
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
-        write!(f, "{:.1}±{:.1}", self.mean * 100.0, self.std * 100.0)
+        if self.runs.is_empty() {
+            return write!(f, "n/a (0/{})", self.n_attempted());
+        }
+        write!(f, "{:.1}±{:.1}", self.mean * 100.0, self.std * 100.0)?;
+        if self.n_failed > 0 {
+            write!(f, " ({}/{})", self.runs.len(), self.n_attempted())?;
+        }
+        Ok(())
     }
 }
 
 /// Average rank helper for the tables' `Rank` column: given per-model
 /// accuracy lists (one accuracy per dataset, same dataset order), returns
-/// the average rank of each model (1 = best).
+/// the average rank of each model (1 = best). `NaN` accuracies (fully
+/// failed sweep cells) sort last via total ordering instead of panicking.
 pub fn average_ranks(per_model_accuracies: &[Vec<f64>]) -> Vec<f64> {
-    assert!(!per_model_accuracies.is_empty());
+    if per_model_accuracies.is_empty() {
+        return Vec::new();
+    }
     let n_datasets = per_model_accuracies[0].len();
     assert!(
         per_model_accuracies.iter().all(|a| a.len() == n_datasets),
@@ -59,11 +97,11 @@ pub fn average_ranks(per_model_accuracies: &[Vec<f64>]) -> Vec<f64> {
     // can express.
     #[allow(clippy::needless_range_loop)]
     for d in 0..n_datasets {
+        // A fully failed cell (NaN) must rank worst, so it sorts as -∞.
+        let key = |v: f64| if v.is_nan() { f64::NEG_INFINITY } else { v };
         let mut order: Vec<usize> = (0..n_models).collect();
         order.sort_by(|&a, &b| {
-            per_model_accuracies[b][d]
-                .partial_cmp(&per_model_accuracies[a][d])
-                .expect("accuracies must not be NaN")
+            key(per_model_accuracies[b][d]).total_cmp(&key(per_model_accuracies[a][d]))
         });
         for (rank, &model) in order.iter().enumerate() {
             ranks[model] += (rank + 1) as f64;
@@ -141,7 +179,7 @@ pub fn binary_auc(logits: &DenseMatrix, labels: &[usize], indices: &[usize]) -> 
     if n_pos == 0 || n_neg == 0 {
         return 0.5;
     }
-    scored.sort_by(|a, b| a.0.partial_cmp(&b.0).expect("finite scores"));
+    scored.sort_by(|a, b| a.0.total_cmp(&b.0));
     // Average ranks over tied scores.
     let mut rank_sum_pos = 0.0f64;
     let mut i = 0;
@@ -186,6 +224,46 @@ mod tests {
     fn summary_single_run_zero_std() {
         let s = Summary::from_runs(vec![0.5]);
         assert_eq!(s.std, 0.0);
+        assert_eq!(s.mean, 0.5);
+        assert_eq!(format!("{s}"), "50.0±0.0");
+    }
+
+    #[test]
+    fn summary_empty_run_set_is_total() {
+        let s = Summary::from_runs(vec![]);
+        assert!(s.is_empty());
+        assert!(s.mean.is_nan() && s.std.is_nan());
+        assert_eq!(s.n_attempted(), 0);
+        assert_eq!(format!("{s}"), "n/a (0/0)");
+    }
+
+    #[test]
+    fn summary_accounts_for_failed_runs() {
+        let s = Summary::from_outcomes(vec![0.8, 0.9, 1.0], 1);
+        assert_eq!(s.n_failed, 1);
+        assert_eq!(s.n_attempted(), 4);
+        assert!((s.mean - 0.9).abs() < 1e-12);
+        assert_eq!(format!("{s}"), "90.0±10.0 (3/4)");
+    }
+
+    #[test]
+    fn summary_all_runs_failed() {
+        let s = Summary::from_outcomes(vec![], 3);
+        assert!(s.is_empty());
+        assert_eq!(s.n_attempted(), 3);
+        assert_eq!(format!("{s}"), "n/a (0/3)");
+    }
+
+    #[test]
+    fn average_ranks_sends_nan_cells_last() {
+        // Model 1's sweep fully failed on dataset 0 (NaN) — it must rank
+        // below both real accuracies in that column.
+        let accs = vec![vec![0.9, 0.8], vec![f64::NAN, 0.9], vec![0.5, 0.2]];
+        let ranks = average_ranks(&accs);
+        assert_eq!(ranks[0], (1.0 + 2.0) / 2.0);
+        assert_eq!(ranks[1], (3.0 + 1.0) / 2.0);
+        assert_eq!(ranks[2], (2.0 + 3.0) / 2.0);
+        assert!(average_ranks(&[]).is_empty());
     }
 
     #[test]

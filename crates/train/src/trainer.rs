@@ -1,15 +1,29 @@
-//! Training loop with early stopping and seeded repeats.
+//! Training loop with early stopping, seeded repeats, and divergence
+//! recovery (DESIGN.md §8).
+//!
+//! Every epoch runs under a numerical-health monitor: the training loss
+//! must stay finite and the raw (pre-clip) gradient norm must stay under
+//! [`TrainConfig::grad_limit`]. On a violation the trainer rolls the
+//! parameters back to the last good snapshot (taken at each best-val
+//! epoch), backs off the learning rate by [`TrainConfig::lr_backoff`],
+//! and retries — up to [`TrainConfig::max_retries`] times before
+//! reporting a typed [`TrainError`] instead of panicking. [`repeat_runs`]
+//! degrades gracefully: diverged seeds land in a failure manifest while
+//! the surviving seeds still produce a [`Summary`].
 
 use crate::data::GraphData;
+use crate::error::TrainError;
+use crate::faults::FaultPlan;
 use crate::metrics::{accuracy, Summary};
 use crate::model::Model;
 use amud_nn::verify::{has_errors, render, Diagnostic, TapeVerifier};
-use amud_nn::{Adam, Tape};
+use amud_nn::{Adam, ParamBank, Tape};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 use std::rc::Rc;
+use std::time::Instant;
 
-/// Hyperparameters of the training loop.
+/// Hyperparameters of the training loop, including the recovery policy.
 #[derive(Debug, Clone, Copy)]
 pub struct TrainConfig {
     pub epochs: usize,
@@ -18,11 +32,57 @@ pub struct TrainConfig {
     pub patience: usize,
     pub lr: f32,
     pub weight_decay: f32,
+    /// Divergence recovery: snapshot rollbacks allowed before the run is
+    /// reported as failed. `0` fails on the first violation.
+    pub max_retries: usize,
+    /// Learning-rate multiplier applied at each recovery (must be in
+    /// `(0, 1]`).
+    pub lr_backoff: f32,
+    /// Gradient-norm watchdog: a raw (pre-clip) global gradient norm above
+    /// this triggers recovery. Non-finite norms always trigger it.
+    pub grad_limit: f32,
+    /// Wall-clock budget in seconds; `0.0` disables the timeout.
+    pub max_seconds: f64,
 }
 
 impl Default for TrainConfig {
     fn default() -> Self {
-        Self { epochs: 200, patience: 30, lr: 0.01, weight_decay: 5e-4 }
+        Self {
+            epochs: 200,
+            patience: 30,
+            lr: 0.01,
+            weight_decay: 5e-4,
+            max_retries: 2,
+            lr_backoff: 0.5,
+            grad_limit: 1e4,
+            max_seconds: 0.0,
+        }
+    }
+}
+
+impl TrainConfig {
+    /// Validates the configuration itself (the trainer calls this before
+    /// spending any epochs).
+    fn validate(&self) -> Result<(), TrainError> {
+        if self.epochs == 0 {
+            return Err(TrainError::bad_input("epochs must be >= 1"));
+        }
+        if !self.lr.is_finite() || self.lr <= 0.0 {
+            return Err(TrainError::bad_input(format!("learning rate {} must be > 0", self.lr)));
+        }
+        if !self.lr_backoff.is_finite() || self.lr_backoff <= 0.0 || self.lr_backoff > 1.0 {
+            return Err(TrainError::bad_input(format!(
+                "lr_backoff {} must lie in (0, 1]",
+                self.lr_backoff
+            )));
+        }
+        if self.grad_limit <= 0.0 {
+            return Err(TrainError::bad_input(format!(
+                "grad_limit {} must be > 0",
+                self.grad_limit
+            )));
+        }
+        Ok(())
     }
 }
 
@@ -33,6 +93,41 @@ pub struct TrainCurve {
     pub train_loss: f64,
     pub val_acc: f64,
     pub test_acc: f64,
+}
+
+/// What tripped the numerical-health monitor.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub enum HealthViolation {
+    /// The training loss was NaN/±Inf, or the gradients carried NaN/±Inf.
+    NonFiniteLoss,
+    /// The raw gradient norm exceeded [`TrainConfig::grad_limit`].
+    GradientExplosion { norm: f32 },
+}
+
+/// One recovery the trainer performed mid-run.
+#[derive(Debug, Clone, Copy, PartialEq)]
+pub struct RecoveryEvent {
+    /// Epoch at which the violation was detected.
+    pub epoch: usize,
+    /// What the monitor saw.
+    pub cause: HealthViolation,
+    /// Epoch whose parameter snapshot was restored (`0` = initial params).
+    pub restored_epoch: usize,
+    /// Learning rate in effect after the backoff.
+    pub new_lr: f32,
+}
+
+/// The run's recovery history (empty on a healthy run).
+#[derive(Debug, Clone, Default, PartialEq)]
+pub struct RecoveryReport {
+    pub events: Vec<RecoveryEvent>,
+}
+
+impl RecoveryReport {
+    /// Number of rollbacks performed.
+    pub fn retries(&self) -> usize {
+        self.events.len()
+    }
 }
 
 /// Outcome of a single training run.
@@ -46,12 +141,20 @@ pub struct TrainResult {
     pub epochs_run: usize,
     /// Per-epoch curve (empty unless `train_with_curve` is used).
     pub curve: Vec<TrainCurve>,
+    /// Divergence recoveries performed during the run.
+    pub recovery: RecoveryReport,
 }
 
 /// Trains `model` on `data`, returning the test accuracy at the epoch of
-/// best validation accuracy.
-pub fn train(model: &mut dyn Model, data: &GraphData, cfg: TrainConfig, seed: u64) -> TrainResult {
-    train_inner(model, data, cfg, seed, false)
+/// best validation accuracy, or a typed [`TrainError`] when the run is
+/// unrecoverable (never a panic).
+pub fn train(
+    model: &mut dyn Model,
+    data: &GraphData,
+    cfg: TrainConfig,
+    seed: u64,
+) -> Result<TrainResult, TrainError> {
+    train_inner(model, data, cfg, seed, false, None)
 }
 
 /// Like [`train`] but records the full per-epoch curve (used by Fig. 5).
@@ -60,8 +163,20 @@ pub fn train_with_curve(
     data: &GraphData,
     cfg: TrainConfig,
     seed: u64,
-) -> TrainResult {
-    train_inner(model, data, cfg, seed, true)
+) -> Result<TrainResult, TrainError> {
+    train_inner(model, data, cfg, seed, true, None)
+}
+
+/// Like [`train`] but injects the faults scheduled in `plan` — the
+/// deterministic fault-injection harness entry point (DESIGN.md §8.3).
+pub fn train_with_faults(
+    model: &mut dyn Model,
+    data: &GraphData,
+    cfg: TrainConfig,
+    seed: u64,
+    plan: &FaultPlan,
+) -> Result<TrainResult, TrainError> {
+    train_inner(model, data, cfg, seed, false, Some(plan))
 }
 
 /// Records one evaluation-mode forward pass (plus the training loss) and
@@ -82,23 +197,32 @@ fn train_inner(
     cfg: TrainConfig,
     seed: u64,
     record_curve: bool,
-) -> TrainResult {
+    faults: Option<&FaultPlan>,
+) -> Result<TrainResult, TrainError> {
+    cfg.validate()?;
+
     // Mandatory pre-flight: statically verify the op graph the model
     // records before spending any epochs on it. Uses its own RNG so the
     // training stream below is unchanged.
     let preflight = verify_model(model, data, seed);
     if has_errors(&preflight) {
-        panic!(
-            "tape verification failed for {} before training:\n{}",
-            model.name(),
-            render(&preflight)
-        );
+        return Err(TrainError::VerifierRejected {
+            model: model.name().to_string(),
+            report: render(&preflight),
+        });
     }
 
+    let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
-    let mut adam = Adam::new(cfg.lr).with_weight_decay(cfg.weight_decay).with_clip_norm(5.0);
+    let mut lr = cfg.lr;
+    let mut adam = Adam::new(lr).with_weight_decay(cfg.weight_decay).with_clip_norm(5.0);
     let labels = Rc::clone(&data.labels);
     let train_mask = Rc::clone(&data.train);
+
+    // Last-good checkpoint: the initial parameters until the first
+    // best-val epoch replaces them.
+    let mut snapshot: (ParamBank, usize) = (model.bank().clone(), 0);
+    let mut recovery = RecoveryReport::default();
 
     let mut best_val = f64::NEG_INFINITY;
     let mut test_at_best = 0.0f64;
@@ -108,13 +232,78 @@ fn train_inner(
 
     for epoch in 0..cfg.epochs {
         epochs_run = epoch + 1;
-        // --- optimisation step ---
+        if cfg.max_seconds > 0.0 {
+            let elapsed = started.elapsed().as_secs_f64();
+            if elapsed > cfg.max_seconds {
+                return Err(TrainError::Timeout {
+                    epoch,
+                    elapsed_secs: elapsed,
+                    limit_secs: cfg.max_seconds,
+                });
+            }
+        }
+
+        // --- optimisation step (gradients land in the bank, update held
+        //     back until the health monitor clears the epoch) ---
         let mut tape = Tape::new();
         let logits = model.forward(&mut tape, data, true, &mut rng);
         let loss = tape.masked_cross_entropy(logits, Rc::clone(&labels), Rc::clone(&train_mask));
-        let train_loss = tape.value(loss).get(0, 0) as f64;
+        let mut train_loss = tape.value(loss).get(0, 0) as f64;
         tape.backward(loss);
         tape.apply_grads(model.bank_mut());
+
+        // --- fault injection (deterministic, epoch-addressed) ---
+        if let Some(plan) = faults {
+            if plan.nan_loss_at(epoch) {
+                train_loss = f64::NAN;
+                model.bank_mut().scale_grads(f32::NAN);
+            }
+            let factor = plan.grad_factor_at(epoch);
+            if factor != 1.0 {
+                model.bank_mut().scale_grads(factor);
+            }
+        }
+
+        // --- numerical-health monitor ---
+        let grad_norm = model.bank().grad_norm();
+        let violation = if !train_loss.is_finite() || !grad_norm.is_finite() {
+            Some(HealthViolation::NonFiniteLoss)
+        } else if grad_norm > cfg.grad_limit {
+            Some(HealthViolation::GradientExplosion { norm: grad_norm })
+        } else {
+            None
+        };
+
+        if let Some(cause) = violation {
+            model.bank_mut().zero_grads();
+            if recovery.retries() >= cfg.max_retries {
+                return Err(match cause {
+                    HealthViolation::NonFiniteLoss => {
+                        TrainError::NonFiniteLoss { epoch, retries: recovery.retries() }
+                    }
+                    HealthViolation::GradientExplosion { norm } => TrainError::GradientExplosion {
+                        epoch,
+                        norm,
+                        limit: cfg.grad_limit,
+                        retries: recovery.retries(),
+                    },
+                });
+            }
+            // Roll back to the last good parameters, back off the learning
+            // rate, and restart the optimiser state (stale Adam moments
+            // would re-apply the diverged direction).
+            *model.bank_mut() = snapshot.0.clone();
+            lr *= cfg.lr_backoff;
+            adam = Adam::new(lr).with_weight_decay(cfg.weight_decay).with_clip_norm(5.0);
+            recovery.events.push(RecoveryEvent {
+                epoch,
+                cause,
+                restored_epoch: snapshot.1,
+                new_lr: lr,
+            });
+            continue;
+        }
+
         adam.step(model.bank_mut());
 
         // --- evaluation ---
@@ -132,12 +321,14 @@ fn train_inner(
             best_val = val_acc;
             test_at_best = test_acc;
             since_best = 0;
+            snapshot = (model.bank().clone(), epoch + 1);
         } else {
             // Validation accuracy is coarse on small splits; on a tie keep
             // the most-trained snapshot rather than freezing on the first
             // epoch that reached the plateau. Ties do not reset patience.
             if val_acc == best_val {
                 test_at_best = test_acc;
+                snapshot = (model.bank().clone(), epoch + 1);
             }
             since_best += 1;
             if cfg.patience > 0 && since_best >= cfg.patience {
@@ -146,39 +337,77 @@ fn train_inner(
         }
     }
 
-    TrainResult { best_val_acc: best_val, test_acc: test_at_best, epochs_run, curve }
+    Ok(TrainResult { best_val_acc: best_val, test_acc: test_at_best, epochs_run, curve, recovery })
+}
+
+/// One seed's failure inside a repeated run (the failure manifest entry).
+#[derive(Debug, Clone, PartialEq)]
+pub struct SeedFailure {
+    pub seed: u64,
+    pub error: TrainError,
 }
 
 /// The outcome of repeated seeded runs of one model on one dataset.
+/// Diverged seeds are recorded in `failures` instead of aborting the
+/// sweep; `summary` covers the successful runs only (with the failure
+/// count carried in [`Summary::n_failed`]).
 #[derive(Debug, Clone)]
 pub struct RepeatOutcome {
     pub summary: Summary,
     pub results: Vec<TrainResult>,
+    pub failures: Vec<SeedFailure>,
 }
 
 /// Runs `build` → train `repeats` times with seeds `base_seed + i` and
-/// summarises test accuracy — the tables' `mean±std` protocol.
+/// summarises test accuracy — the tables' `mean±std` protocol. A seed
+/// whose run fails lands in the failure manifest; the summary covers the
+/// seeds that survived.
 pub fn repeat_runs<M: Model>(
-    mut build: impl FnMut(u64) -> M,
+    build: impl FnMut(u64) -> M,
     data: &GraphData,
     cfg: TrainConfig,
     repeats: usize,
     base_seed: u64,
 ) -> RepeatOutcome {
-    assert!(repeats >= 1, "need at least one repeat");
+    repeat_runs_with_faults(build, data, cfg, repeats, base_seed, |_| FaultPlan::new())
+}
+
+/// [`repeat_runs`] with a per-seed fault schedule — the harness used by
+/// the fault-injection suite to prove one diverged seed degrades the
+/// sweep gracefully instead of destroying it.
+pub fn repeat_runs_with_faults<M: Model>(
+    mut build: impl FnMut(u64) -> M,
+    data: &GraphData,
+    cfg: TrainConfig,
+    repeats: usize,
+    base_seed: u64,
+    mut fault_for_seed: impl FnMut(u64) -> FaultPlan,
+) -> RepeatOutcome {
     let mut results = Vec::with_capacity(repeats);
+    let mut failures = Vec::new();
     for i in 0..repeats {
         let seed = base_seed + i as u64;
         let mut model = build(seed);
-        results.push(train(&mut model, data, cfg, seed));
+        let plan = fault_for_seed(seed);
+        let run = if plan.is_empty() {
+            train(&mut model, data, cfg, seed)
+        } else {
+            train_with_faults(&mut model, data, cfg, seed, &plan)
+        };
+        match run {
+            Ok(result) => results.push(result),
+            Err(error) => failures.push(SeedFailure { seed, error }),
+        }
     }
-    let summary = Summary::from_runs(results.iter().map(|r| r.test_acc).collect());
-    RepeatOutcome { summary, results }
+    let summary =
+        Summary::from_outcomes(results.iter().map(|r| r.test_acc).collect(), failures.len());
+    RepeatOutcome { summary, results, failures }
 }
 
 #[cfg(test)]
 mod tests {
     use super::*;
+    use crate::faults::Fault;
     use amud_graph::DiGraph;
     use amud_nn::{Activation, DenseMatrix, Mlp, NodeId, ParamBank};
 
@@ -240,25 +469,29 @@ mod tests {
         let train: Vec<usize> = (0..60).collect();
         let val: Vec<usize> = (60..90).collect();
         let test: Vec<usize> = (90..n).collect();
-        GraphData::new(&g, x, train, val, test)
+        GraphData::new(&g, x, train, val, test).unwrap()
+    }
+
+    fn quick(epochs: usize) -> TrainConfig {
+        TrainConfig { epochs, patience: 0, lr: 0.01, weight_decay: 0.0, ..Default::default() }
     }
 
     #[test]
     fn training_reaches_high_accuracy_on_separable_data() {
         let data = toy_data(0);
         let mut model = MlpModel::new(&data, 1);
-        let cfg = TrainConfig { epochs: 150, patience: 0, lr: 0.01, weight_decay: 0.0 };
-        let result = train(&mut model, &data, cfg, 1);
+        let result = train(&mut model, &data, quick(150), 1).unwrap();
         assert!(result.test_acc > 0.9, "test accuracy {}", result.test_acc);
         assert_eq!(result.epochs_run, 150);
+        assert!(result.recovery.events.is_empty());
     }
 
     #[test]
     fn early_stopping_halts_before_max() {
         let data = toy_data(0);
         let mut model = MlpModel::new(&data, 1);
-        let cfg = TrainConfig { epochs: 500, patience: 10, lr: 0.01, weight_decay: 0.0 };
-        let result = train(&mut model, &data, cfg, 1);
+        let cfg = TrainConfig { patience: 10, ..quick(500) };
+        let result = train(&mut model, &data, cfg, 1).unwrap();
         assert!(result.epochs_run < 500, "early stopping never fired");
     }
 
@@ -266,8 +499,7 @@ mod tests {
     fn curves_are_recorded_and_loss_decreases() {
         let data = toy_data(0);
         let mut model = MlpModel::new(&data, 2);
-        let cfg = TrainConfig { epochs: 60, patience: 0, lr: 0.01, weight_decay: 0.0 };
-        let result = train_with_curve(&mut model, &data, cfg, 2);
+        let result = train_with_curve(&mut model, &data, quick(60), 2).unwrap();
         assert_eq!(result.curve.len(), 60);
         let first = result.curve.first().unwrap().train_loss;
         let last = result.curve.last().unwrap().train_loss;
@@ -277,9 +509,9 @@ mod tests {
     #[test]
     fn seeded_runs_are_reproducible() {
         let data = toy_data(3);
-        let cfg = TrainConfig { epochs: 30, patience: 0, lr: 0.01, weight_decay: 0.0 };
-        let r1 = train(&mut MlpModel::new(&data, 7), &data, cfg, 7);
-        let r2 = train(&mut MlpModel::new(&data, 7), &data, cfg, 7);
+        let cfg = quick(30);
+        let r1 = train(&mut MlpModel::new(&data, 7), &data, cfg, 7).unwrap();
+        let r2 = train(&mut MlpModel::new(&data, 7), &data, cfg, 7).unwrap();
         assert_eq!(r1.test_acc, r2.test_acc);
         assert_eq!(r1.best_val_acc, r2.best_val_acc);
     }
@@ -287,9 +519,42 @@ mod tests {
     #[test]
     fn repeat_runs_summarises() {
         let data = toy_data(4);
-        let cfg = TrainConfig { epochs: 40, patience: 0, lr: 0.01, weight_decay: 0.0 };
-        let out = repeat_runs(|seed| MlpModel::new(&data, seed), &data, cfg, 3, 100);
+        let out = repeat_runs(|seed| MlpModel::new(&data, seed), &data, quick(40), 3, 100);
         assert_eq!(out.results.len(), 3);
+        assert!(out.failures.is_empty());
         assert!(out.summary.mean > 0.8);
+    }
+
+    #[test]
+    fn invalid_config_is_bad_input() {
+        let data = toy_data(0);
+        let mut model = MlpModel::new(&data, 1);
+        let cfg = TrainConfig { lr: -1.0, ..TrainConfig::default() };
+        match train(&mut model, &data, cfg, 1) {
+            Err(TrainError::BadInput { .. }) => {}
+            other => panic!("expected BadInput, got {other:?}"),
+        }
+    }
+
+    #[test]
+    fn injected_nan_loss_is_recovered() {
+        let data = toy_data(5);
+        let mut model = MlpModel::new(&data, 1);
+        let plan = FaultPlan::new().with(Fault::NanLoss { epoch: 10 });
+        let result = train_with_faults(&mut model, &data, quick(80), 1, &plan).unwrap();
+        assert_eq!(result.recovery.retries(), 1);
+        assert_eq!(result.recovery.events[0].epoch, 10);
+        assert!(result.test_acc > 0.9, "recovered run must still learn: {}", result.test_acc);
+    }
+
+    #[test]
+    fn timeout_is_typed() {
+        let data = toy_data(0);
+        let mut model = MlpModel::new(&data, 1);
+        let cfg = TrainConfig { max_seconds: 1e-9, ..quick(50) };
+        match train(&mut model, &data, cfg, 1) {
+            Err(TrainError::Timeout { .. }) => {}
+            other => panic!("expected Timeout, got {other:?}"),
+        }
     }
 }

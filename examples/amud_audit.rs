@@ -12,8 +12,8 @@ use amud_repro::graph::measures::homophily_report;
 
 fn main() {
     println!(
-        "{:<18} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  {}",
-        "dataset", "Hnode", "Hedge", "Hclass", "Hadj", "LI", "S", "θ", "decision"
+        "{:<18} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7} {:>7}  decision",
+        "dataset", "Hnode", "Hedge", "Hclass", "Hadj", "LI", "S", "θ"
     );
     for d in all_replicas(ReplicaScale::default(), 42) {
         let h = homophily_report(&d.graph);

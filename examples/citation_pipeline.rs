@@ -21,7 +21,8 @@ fn main() {
         dataset.split.train.clone(),
         dataset.split.val.clone(),
         dataset.split.test.clone(),
-    );
+    )
+    .expect("replica bundles are well-formed");
 
     // Homophily audit, directed vs undirected view (Table I's comparison).
     let d_report = homophily_report(&dataset.graph);
@@ -37,7 +38,13 @@ fn main() {
     assert!(prepared.is_undirected());
 
     // Paradigm I: a well-designed undirected GNN is a strong choice...
-    let cfg = TrainConfig { epochs: 150, patience: 30, lr: 0.01, weight_decay: 5e-4 };
+    let cfg = TrainConfig {
+        epochs: 150,
+        patience: 30,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        ..TrainConfig::default()
+    };
     struct Shim(Box<dyn amud_repro::train::Model>);
     impl amud_repro::train::Model for Shim {
         fn bank(&self) -> &amud_repro::nn::ParamBank {

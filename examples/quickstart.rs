@@ -19,7 +19,8 @@ fn main() {
         dataset.split.train.clone(),
         dataset.split.val.clone(),
         dataset.split.test.clone(),
-    );
+    )
+    .expect("replica bundles are well-formed");
     println!(
         "dataset: {} ({} nodes, {} directed edges, {} classes)",
         dataset.name(),
@@ -49,8 +50,14 @@ fn main() {
         model.pattern_names(),
         amud_repro::train::Model::n_parameters(&model),
     );
-    let cfg = TrainConfig { epochs: 150, patience: 30, lr: 0.01, weight_decay: 5e-4 };
-    let result = train(&mut model, &prepared, cfg, 0);
+    let cfg = TrainConfig {
+        epochs: 150,
+        patience: 30,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        ..TrainConfig::default()
+    };
+    let result = train(&mut model, &prepared, cfg, 0).expect("training diverged");
     println!(
         "trained {} epochs — best val acc {:.3}, test acc {:.3}",
         result.epochs_run, result.best_val_acc, result.test_acc

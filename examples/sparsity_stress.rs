@@ -20,14 +20,21 @@ fn bundle(d: &Dataset) -> GraphData {
         d.split.val.clone(),
         d.split.test.clone(),
     )
+    .expect("replica bundles are well-formed")
 }
 
 fn eval(data: &GraphData) -> (f64, f64) {
-    let cfg = TrainConfig { epochs: 120, patience: 25, lr: 0.01, weight_decay: 5e-4 };
+    let cfg = TrainConfig {
+        epochs: 120,
+        patience: 25,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        ..TrainConfig::default()
+    };
     let mut adpa = Adpa::new(data, AdpaConfig::default(), 0);
-    let adpa_acc = train(&mut adpa, data, cfg, 0).test_acc;
+    let adpa_acc = train(&mut adpa, data, cfg, 0).expect("training diverged").test_acc;
     let mut dirgnn = DirGnn::new(data, 64, 0.4, 0);
-    let dir_acc = train(&mut dirgnn, data, cfg, 0).test_acc;
+    let dir_acc = train(&mut dirgnn, data, cfg, 0).expect("training diverged").test_acc;
     (adpa_acc, dir_acc)
 }
 

@@ -22,7 +22,8 @@ fn main() {
         dataset.split.train.clone(),
         dataset.split.val.clone(),
         dataset.split.test.clone(),
-    );
+    )
+    .expect("replica bundles are well-formed");
 
     // AMUD: strongly oriented heterophily → keep the digraph.
     let (prepared, report, par) = paradigm::prepare_topology(&data);
@@ -40,17 +41,23 @@ fn main() {
 
     // Contrast: an undirected GCN on the coarse U- transformation vs a
     // directed GNN and ADPA on the natural digraph.
-    let cfg = TrainConfig { epochs: 150, patience: 30, lr: 0.01, weight_decay: 5e-4 };
+    let cfg = TrainConfig {
+        epochs: 150,
+        patience: 30,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        ..TrainConfig::default()
+    };
 
     let undirected = data.to_undirected();
     let mut gcn = Gcn::new(&undirected, 64, 0.4, 0);
-    let gcn_acc = train(&mut gcn, &undirected, cfg, 0).test_acc;
+    let gcn_acc = train(&mut gcn, &undirected, cfg, 0).expect("training diverged").test_acc;
 
     let mut dirgnn = DirGnn::new(&prepared, 64, 0.4, 0);
-    let dir_acc = train(&mut dirgnn, &prepared, cfg, 0).test_acc;
+    let dir_acc = train(&mut dirgnn, &prepared, cfg, 0).expect("training diverged").test_acc;
 
     let mut adpa = Adpa::new(&prepared, AdpaConfig::default(), 0);
-    let adpa_acc = train(&mut adpa, &prepared, cfg, 0).test_acc;
+    let adpa_acc = train(&mut adpa, &prepared, cfg, 0).expect("training diverged").test_acc;
 
     println!("\ntest accuracy:");
     println!("  U-GCN    {gcn_acc:.3}   (coarse undirected transformation)");

@@ -2,7 +2,7 @@
 //!
 //! ```text
 //! amud score   <dataset|file.amud>       AMUD report for a digraph
-//! amud train   <dataset> [model] [--verify-tape]
+//! amud train   <dataset> [model] [--verify-tape] [--max-retries N]
 //!                                        train one model end-to-end,
 //!                                        optionally printing the tape
 //!                                        verifier's report first
@@ -13,14 +13,18 @@
 //! `<dataset>` is a replica name from Table II (`cora_ml`, `texas`, …);
 //! anything ending in `.amud` is loaded from disk instead. Scale and
 //! repeats respect the `AMUD_SCALE` / `AMUD_EPOCHS` environment knobs.
+//!
+//! Every failure maps onto a distinct exit code (see the README table):
+//! 1 I/O, 2 usage, 3 bad input, 4 dataset parse, 5 verifier rejected,
+//! 6 non-finite loss, 7 gradient explosion, 8 timeout.
 
 use amud_repro::core::{paradigm, Adpa, AdpaConfig};
 use amud_repro::datasets::registry::all_specs;
-use amud_repro::datasets::{replica, Dataset, ReplicaScale};
+use amud_repro::datasets::{try_replica, Dataset, DatasetError, ReplicaScale};
 use amud_repro::models::registry::{
     build_model, extra_model_names, is_directed_model, model_names,
 };
-use amud_repro::train::{train, GraphData, Model, TrainConfig};
+use amud_repro::train::{train, GraphData, Model, TrainConfig, TrainError};
 
 fn env_scale() -> ReplicaScale {
     match std::env::var("AMUD_SCALE").as_deref() {
@@ -33,11 +37,12 @@ fn env_scale() -> ReplicaScale {
 fn load_dataset(arg: &str) -> Dataset {
     if arg.ends_with(".amud") {
         let text = std::fs::read_to_string(arg)
-            .unwrap_or_else(|e| die(&format!("cannot read {arg}: {e}")));
-        amud_repro::datasets::io::dataset_from_text(&text)
-            .unwrap_or_else(|e| die(&format!("cannot parse {arg}: {e}")))
+            .unwrap_or_else(|e| die(&format!("cannot read {arg}: {e}"), 1));
+        amud_repro::datasets::io::dataset_from_text(&text).unwrap_or_else(|e: DatasetError| {
+            die(&format!("cannot parse {arg}: {e}"), e.exit_code())
+        })
     } else {
-        replica(arg, env_scale(), 42)
+        try_replica(arg, env_scale(), 42).unwrap_or_else(|e| die(&e.to_string(), e.exit_code()))
     }
 }
 
@@ -49,11 +54,12 @@ fn to_bundle(d: &Dataset) -> GraphData {
         d.split.val.clone(),
         d.split.test.clone(),
     )
+    .unwrap_or_else(|e| die(&e.to_string(), e.exit_code()))
 }
 
-fn die(msg: &str) -> ! {
+fn die(msg: &str, code: i32) -> ! {
     eprintln!("error: {msg}");
-    std::process::exit(1)
+    std::process::exit(code)
 }
 
 fn cmd_score(target: &str) {
@@ -83,8 +89,8 @@ fn cmd_score(target: &str) {
 }
 
 /// Statically verifies the tape a model records and prints the findings.
-/// Exits with an error when the graph is wrong (mirrors the trainer's
-/// mandatory pre-flight, but with a readable report instead of a panic).
+/// Exits with the verifier's code when the graph is wrong (mirrors the
+/// trainer's mandatory pre-flight, but with a readable report).
 fn report_verification(label: &str, model: &dyn Model, input: &GraphData) {
     use amud_repro::nn::verify::{has_errors, render};
     let diags = amud_repro::train::verify_model(model, input, 0);
@@ -93,26 +99,56 @@ fn report_verification(label: &str, model: &dyn Model, input: &GraphData) {
     } else {
         println!("verify-tape: {label}: {} finding(s)\n{}", diags.len(), render(&diags));
         if has_errors(&diags) {
-            die("tape verification failed");
+            die(
+                "tape verification failed",
+                TrainError::VerifierRejected { model: label.to_string(), report: String::new() }
+                    .exit_code(),
+            );
         }
     }
 }
 
-fn cmd_train(target: &str, model_name: &str, verify_tape: bool) {
+/// Reports a training outcome, exiting with the error's code on failure.
+fn finish(result: Result<amud_repro::train::TrainResult, TrainError>) {
+    match result {
+        Ok(result) => {
+            for ev in &result.recovery.events {
+                println!(
+                    "recovered at epoch {} ({:?}) — rolled back to epoch {}, lr -> {}",
+                    ev.epoch, ev.cause, ev.restored_epoch, ev.new_lr
+                );
+            }
+            println!(
+                "done in {} epochs — best val acc {:.3}, test acc {:.3}",
+                result.epochs_run, result.best_val_acc, result.test_acc
+            );
+        }
+        Err(e) => die(&e.to_string(), e.exit_code()),
+    }
+}
+
+fn cmd_train(target: &str, model_name: &str, verify_tape: bool, max_retries: Option<usize>) {
     let d = load_dataset(target);
     let data = to_bundle(&d);
     let epochs: usize =
         std::env::var("AMUD_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(150);
-    let cfg = TrainConfig { epochs, patience: 30, lr: 0.01, weight_decay: 5e-4 };
+    let cfg = TrainConfig {
+        epochs,
+        patience: 30,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        max_retries: max_retries.unwrap_or(TrainConfig::default().max_retries),
+        ..TrainConfig::default()
+    };
     println!("training {model_name} on {} ({} nodes)...", d.name(), d.n_nodes());
-    let result = if model_name == "ADPA" {
+    if model_name == "ADPA" {
         let (prepared, report, _) = paradigm::prepare_topology(&data);
         println!("AMUD S = {:.3} → {:?}", report.score, report.decision);
         let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0);
         if verify_tape {
             report_verification("ADPA", &model, &prepared);
         }
-        train(&mut model, &prepared, cfg, 0)
+        finish(train(&mut model, &prepared, cfg, 0));
     } else {
         struct Shim(Box<dyn Model>);
         impl Model for Shim {
@@ -135,23 +171,25 @@ fn cmd_train(target: &str, model_name: &str, verify_tape: bool) {
                 self.0.name()
             }
         }
+        if !model_names().contains(&model_name) && !extra_model_names().contains(&model_name) {
+            die(
+                &format!("unknown model '{model_name}' (run `amud list` for the available models)"),
+                TrainError::bad_input("").exit_code(),
+            );
+        }
         let input = if is_directed_model(model_name) { data.clone() } else { data.to_undirected() };
         let mut model = Shim(build_model(model_name, &input, 0));
         if verify_tape {
             report_verification(model_name, &model, &input);
         }
-        train(&mut model, &input, cfg, 0)
-    };
-    println!(
-        "done in {} epochs — best val acc {:.3}, test acc {:.3}",
-        result.epochs_run, result.best_val_acc, result.test_acc
-    );
+        finish(train(&mut model, &input, cfg, 0));
+    }
 }
 
 fn cmd_export(dataset: &str, path: &str) {
     let d = load_dataset(dataset);
     let text = amud_repro::datasets::io::dataset_to_text(&d);
-    std::fs::write(path, text).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}")));
+    std::fs::write(path, text).unwrap_or_else(|e| die(&format!("cannot write {path}: {e}"), 1));
     println!("wrote {} ({} nodes, {} edges) to {path}", d.name(), d.n_nodes(), d.graph.n_edges());
 }
 
@@ -171,20 +209,39 @@ fn cmd_list() {
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
     let verify_tape = raw.iter().any(|a| a == "--verify-tape");
-    if let Some(flag) = raw.iter().find(|a| a.starts_with("--") && *a != "--verify-tape") {
-        die(&format!("unknown flag '{flag}' (did you mean --verify-tape?)"));
+    let mut max_retries: Option<usize> = None;
+    let mut args: Vec<String> = Vec::new();
+    let mut it = raw.into_iter();
+    while let Some(a) = it.next() {
+        if a == "--verify-tape" {
+            continue;
+        }
+        if a == "--max-retries" {
+            let value = it.next().unwrap_or_else(|| die("--max-retries needs a value", 2));
+            max_retries =
+                Some(value.parse().unwrap_or_else(|_| {
+                    die(&format!("--max-retries: '{value}' is not a count"), 2)
+                }));
+            continue;
+        }
+        if a.starts_with("--") {
+            die(&format!("unknown flag '{a}' (--verify-tape and --max-retries exist)"), 2);
+        }
+        args.push(a);
     }
-    let args: Vec<String> = raw.into_iter().filter(|a| a != "--verify-tape").collect();
     match args.first().map(String::as_str) {
         Some("score") if args.len() == 2 => cmd_score(&args[1]),
-        Some("train") if args.len() >= 2 => {
-            cmd_train(&args[1], args.get(2).map(String::as_str).unwrap_or("ADPA"), verify_tape)
-        }
+        Some("train") if args.len() >= 2 => cmd_train(
+            &args[1],
+            args.get(2).map(String::as_str).unwrap_or("ADPA"),
+            verify_tape,
+            max_retries,
+        ),
         Some("export") if args.len() == 3 => cmd_export(&args[1], &args[2]),
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
-                "usage:\n  amud score  <dataset|file.amud>\n  amud train  <dataset> [model] [--verify-tape]\n  amud export <dataset> <file.amud>\n  amud list"
+                "usage:\n  amud score  <dataset|file.amud>\n  amud train  <dataset> [model] [--verify-tape] [--max-retries N]\n  amud export <dataset> <file.amud>\n  amud list"
             );
             std::process::exit(2);
         }

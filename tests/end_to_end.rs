@@ -14,10 +14,11 @@ fn bundle(name: &str, seed: u64) -> GraphData {
         d.split.val.clone(),
         d.split.test.clone(),
     )
+    .unwrap()
 }
 
 fn quick() -> TrainConfig {
-    TrainConfig { epochs: 60, patience: 0, lr: 0.01, weight_decay: 5e-4 }
+    TrainConfig { epochs: 60, patience: 0, lr: 0.01, weight_decay: 5e-4, ..Default::default() }
 }
 
 #[test]
@@ -32,7 +33,7 @@ fn paradigm_one_pipeline_citation_network() {
     );
     assert!(prepared.is_undirected());
     let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0);
-    let result = train(&mut model, &prepared, quick(), 0);
+    let result = train(&mut model, &prepared, quick(), 0).unwrap();
     assert!(result.test_acc > 0.4, "ADPA on AMUndirected cora: {}", result.test_acc);
 }
 
@@ -48,7 +49,7 @@ fn paradigm_two_pipeline_oriented_heterophily() {
     );
     assert!(!prepared.is_undirected());
     let mut model = Adpa::new(&prepared, AdpaConfig::default(), 1);
-    let result = train(&mut model, &prepared, quick(), 1);
+    let result = train(&mut model, &prepared, quick(), 1).unwrap();
     assert!(result.test_acc > 0.3, "ADPA on AMDirected chameleon: {}", result.test_acc);
 }
 
@@ -95,7 +96,8 @@ fn all_fourteen_replicas_flow_through_the_pipeline() {
             d.split.train.clone(),
             d.split.val.clone(),
             d.split.test.clone(),
-        );
+        )
+        .unwrap();
         let (report, par) = paradigm::decide(&data);
         let expected = match regime {
             AmudRegime::Directed => Paradigm::II,

@@ -41,15 +41,16 @@ fn bundle(name: &str, seed: u64) -> GraphData {
         d.split.val.clone(),
         d.split.test.clone(),
     )
+    .unwrap()
 }
 
 fn cfg() -> TrainConfig {
-    TrainConfig { epochs: 80, patience: 0, lr: 0.01, weight_decay: 5e-4 }
+    TrainConfig { epochs: 80, patience: 0, lr: 0.01, weight_decay: 5e-4, ..Default::default() }
 }
 
 /// Average accuracy over a couple of seeds to damp tiny-replica variance.
-fn avg_acc(mut run: impl FnMut(u64) -> f64) -> f64 {
-    (0..2).map(|s| run(s)).sum::<f64>() / 2.0
+fn avg_acc(run: impl FnMut(u64) -> f64) -> f64 {
+    (0..2).map(run).sum::<f64>() / 2.0
 }
 
 #[test]
@@ -60,11 +61,11 @@ fn o1_directed_models_win_on_oriented_heterophily() {
     let undirected = data.to_undirected();
     let gcn = avg_acc(|s| {
         let mut m = Gcn::new(&undirected, 32, 0.3, s);
-        train(&mut m, &undirected, cfg(), s).test_acc
+        train(&mut m, &undirected, cfg(), s).unwrap().test_acc
     });
     let dirgnn = avg_acc(|s| {
         let mut m = DirGnn::new(&data, 32, 0.3, s);
-        train(&mut m, &data, cfg(), s).test_acc
+        train(&mut m, &data, cfg(), s).unwrap().test_acc
     });
     assert!(
         dirgnn > gcn,
@@ -80,11 +81,11 @@ fn o2_undirected_augmentation_hurts_on_oriented_heterophily() {
     let undirected = data.to_undirected();
     let on_directed = avg_acc(|s| {
         let mut m = DirGnn::new(&data, 32, 0.3, s);
-        train(&mut m, &data, cfg(), s).test_acc
+        train(&mut m, &data, cfg(), s).unwrap().test_acc
     });
     let on_undirected = avg_acc(|s| {
         let mut m = DirGnn::new(&undirected, 32, 0.3, s);
-        train(&mut m, &undirected, cfg(), s).test_acc
+        train(&mut m, &undirected, cfg(), s).unwrap().test_acc
     });
     assert!(
         on_directed > on_undirected,
@@ -100,13 +101,19 @@ fn adpa_is_competitive_in_both_regimes() {
     // regime-aware: never the worst model on the homophilous side, and at
     // least median on the directed side where its mechanism applies.
     // Early stopping (best-val selection) damps tiny-replica variance.
-    let stable = TrainConfig { epochs: 120, patience: 25, lr: 0.01, weight_decay: 5e-4 };
+    let stable = TrainConfig {
+        epochs: 120,
+        patience: 25,
+        lr: 0.01,
+        weight_decay: 5e-4,
+        ..Default::default()
+    };
     for (dataset, seeds, need_median) in [("cora_ml", 20u64, false), ("chameleon", 21u64, true)] {
         let raw = bundle(dataset, seeds);
         let (prepared, _, _) = amud_repro::core::paradigm::prepare_topology(&raw);
         let adpa = avg_acc(|s| {
             let mut m = Adpa::new(&prepared, AdpaConfig::default(), s);
-            train(&mut m, &prepared, stable, s).test_acc
+            train(&mut m, &prepared, stable, s).unwrap().test_acc
         });
         let mut baseline_accs = Vec::new();
         for name in ["GCN", "SGC", "DiGCN", "DirGNN"] {
@@ -117,7 +124,7 @@ fn adpa_is_competitive_in_both_regimes() {
             };
             let acc = avg_acc(|s| {
                 let mut m = Shim(build_model(name, &input, s));
-                train(&mut m, &input, stable, s).test_acc
+                train(&mut m, &input, stable, s).unwrap().test_acc
             });
             baseline_accs.push(acc);
         }
@@ -146,13 +153,13 @@ fn dp_attention_outperforms_no_attention() {
     let data = bundle("chameleon", 30);
     let full = avg_acc(|s| {
         let mut m = Adpa::new(&data, AdpaConfig::default(), s);
-        train(&mut m, &data, cfg(), s).test_acc
+        train(&mut m, &data, cfg(), s).unwrap().test_acc
     });
     let without = avg_acc(|s| {
         let c =
             AdpaConfig { dp_attention: amud_repro::core::DpAttention::None, ..Default::default() };
         let mut m = Adpa::new(&data, c, s);
-        train(&mut m, &data, cfg(), s).test_acc
+        train(&mut m, &data, cfg(), s).unwrap().test_acc
     });
     assert!(
         full > without - 0.02,
@@ -169,12 +176,12 @@ fn two_order_patterns_beat_one_order_on_directed_regime() {
     let order1 = avg_acc(|s| {
         let c = AdpaConfig { max_order: 1, ..Default::default() };
         let mut m = Adpa::new(&data, c, s);
-        train(&mut m, &data, cfg(), s).test_acc
+        train(&mut m, &data, cfg(), s).unwrap().test_acc
     });
     let order2 = avg_acc(|s| {
         let c = AdpaConfig { max_order: 2, ..Default::default() };
         let mut m = Adpa::new(&data, c, s);
-        train(&mut m, &data, cfg(), s).test_acc
+        train(&mut m, &data, cfg(), s).unwrap().test_acc
     });
     assert!(
         order2 > order1 - 0.05,

@@ -1,4 +1,6 @@
-//! Property-based tests over the substrates' invariants (DESIGN.md §6).
+//! Property-based tests over the substrates' invariants (DESIGN.md §6)
+//! and the failure model (§8): dataset serialization round-trips exactly,
+//! and no corruption of the serialized bytes can panic the parser.
 
 use amud_repro::core::amud::{amud_score, guidance_score};
 use amud_repro::graph::measures::{adjusted_homophily, edge_homophily, label_informativeness};
@@ -161,5 +163,51 @@ proptest! {
         let cat = DenseMatrix::concat_cols(&[&a, &b]);
         prop_assert_eq!(cat.slice_cols(0, c1), a);
         prop_assert_eq!(cat.slice_cols(c1, c1 + c2), b);
+    }
+
+    #[test]
+    fn dataset_io_roundtrips_exactly(name_idx in 0usize..4, seed in 0u64..50) {
+        use amud_repro::datasets::io::{dataset_from_text, dataset_to_text};
+        use amud_repro::datasets::{replica, ReplicaScale};
+        let name = ["texas", "cornell", "wisconsin", "chameleon"][name_idx];
+        let d = replica(name, ReplicaScale::tiny(), seed);
+        let back = dataset_from_text(&dataset_to_text(&d)).unwrap();
+        prop_assert_eq!(back.name(), d.name());
+        prop_assert_eq!(
+            back.graph.edges().collect::<Vec<_>>(),
+            d.graph.edges().collect::<Vec<_>>()
+        );
+        prop_assert_eq!(back.labels(), d.labels());
+        prop_assert_eq!(&back.split, &d.split);
+        prop_assert_eq!(&back.features, &d.features);
+    }
+
+    #[test]
+    fn mutated_dataset_bytes_never_panic_the_parser(
+        seed in 0u64..400,
+        n_mutations in 1usize..64,
+    ) {
+        use amud_repro::datasets::io::{dataset_from_text, dataset_to_text};
+        use amud_repro::datasets::{replica, ReplicaScale};
+        use amud_repro::train::corrupt_bytes;
+        let text = dataset_to_text(&replica("texas", ReplicaScale::tiny(), 0));
+        // Ok (mutation hit a value without breaking syntax) and Err are
+        // both fine — the property is the absence of a panic, plus error
+        // line numbers that actually exist in the input.
+        if let Err(amud_repro::datasets::DatasetError::Parse { line, .. }) =
+            dataset_from_text(&corrupt_bytes(&text, seed, n_mutations))
+        {
+            prop_assert!(line >= 1 && line <= text.lines().count());
+        }
+    }
+
+    #[test]
+    fn truncated_dataset_bytes_never_panic_the_parser(cut_permille in 0usize..1000) {
+        use amud_repro::datasets::io::{dataset_from_text, dataset_to_text};
+        use amud_repro::datasets::{replica, ReplicaScale};
+        let text = dataset_to_text(&replica("cornell", ReplicaScale::tiny(), 1));
+        let keep = text.len() * cut_permille / 1000;
+        // A strict prefix can never be a complete dataset.
+        prop_assert!(dataset_from_text(&text[..keep]).is_err());
     }
 }

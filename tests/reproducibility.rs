@@ -15,6 +15,7 @@ fn bundle(name: &str, seed: u64) -> GraphData {
         d.split.val.clone(),
         d.split.test.clone(),
     )
+    .unwrap()
 }
 
 #[test]
@@ -45,10 +46,11 @@ fn amud_is_deterministic() {
 #[test]
 fn adpa_training_is_bit_reproducible() {
     let data = bundle("texas", 1);
-    let cfg = TrainConfig { epochs: 40, patience: 0, lr: 0.01, weight_decay: 5e-4 };
+    let cfg =
+        TrainConfig { epochs: 40, patience: 0, lr: 0.01, weight_decay: 5e-4, ..Default::default() };
     let run = || {
         let mut m = Adpa::new(&data, AdpaConfig::default(), 7);
-        train(&mut m, &data, cfg, 7)
+        train(&mut m, &data, cfg, 7).unwrap()
     };
     let (a, b) = (run(), run());
     assert_eq!(a.test_acc, b.test_acc);
@@ -59,7 +61,8 @@ fn adpa_training_is_bit_reproducible() {
 #[test]
 fn every_baseline_is_seed_reproducible() {
     let data = bundle("texas", 2);
-    let cfg = TrainConfig { epochs: 15, patience: 0, lr: 0.01, weight_decay: 5e-4 };
+    let cfg =
+        TrainConfig { epochs: 15, patience: 0, lr: 0.01, weight_decay: 5e-4, ..Default::default() };
     struct Shim(Box<dyn Model>);
     impl Model for Shim {
         fn bank(&self) -> &amud_repro::nn::ParamBank {
@@ -84,7 +87,7 @@ fn every_baseline_is_seed_reproducible() {
     for name in model_names() {
         let run = || {
             let mut m = Shim(build_model(name, &data, 3));
-            train(&mut m, &data, cfg, 3).test_acc
+            train(&mut m, &data, cfg, 3).unwrap().test_acc
         };
         assert_eq!(run(), run(), "{name} is not reproducible");
     }

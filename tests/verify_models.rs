@@ -21,6 +21,7 @@ fn bundle(name: &str, seed: u64) -> GraphData {
         d.split.val.clone(),
         d.split.test.clone(),
     )
+    .unwrap()
 }
 
 fn assert_clean(name: &str, dataset: &str, diags: &[amud_repro::nn::Diagnostic]) {
