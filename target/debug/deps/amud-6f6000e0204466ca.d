@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amud-6f6000e0204466ca.d: src/bin/amud.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamud-6f6000e0204466ca.rmeta: src/bin/amud.rs Cargo.toml
+
+src/bin/amud.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amud_bench-9ae62c5de00e5c38.d: crates/bench/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamud_bench-9ae62c5de00e5c38.rmeta: crates/bench/src/lib.rs Cargo.toml
+
+crates/bench/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amud_bench-a55e01074cc39ef3.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamud_bench-a55e01074cc39ef3.rlib: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/libamud_bench-a55e01074cc39ef3.rmeta: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amud_bench-c311406046b1966e.d: crates/bench/src/lib.rs
+
+/root/repo/target/debug/deps/amud_bench-c311406046b1966e: crates/bench/src/lib.rs
+
+crates/bench/src/lib.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amud_core-9f25221e1d03cbba.d: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs
+
+/root/repo/target/debug/deps/amud_core-9f25221e1d03cbba: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs
+
+crates/core/src/lib.rs:
+crates/core/src/adpa.rs:
+crates/core/src/amud.rs:
+crates/core/src/paradigm.rs:
+crates/core/src/propagation.rs:

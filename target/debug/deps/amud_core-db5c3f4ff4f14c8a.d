@@ -1,0 +1,13 @@
+/root/repo/target/debug/deps/amud_core-db5c3f4ff4f14c8a.d: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamud_core-db5c3f4ff4f14c8a.rmeta: crates/core/src/lib.rs crates/core/src/adpa.rs crates/core/src/amud.rs crates/core/src/paradigm.rs crates/core/src/propagation.rs Cargo.toml
+
+crates/core/src/lib.rs:
+crates/core/src/adpa.rs:
+crates/core/src/amud.rs:
+crates/core/src/paradigm.rs:
+crates/core/src/propagation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/amud_datasets-2b74e9b7a88a970b.d: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
+
+/root/repo/target/debug/deps/amud_datasets-2b74e9b7a88a970b: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dsbm.rs:
+crates/datasets/src/error.rs:
+crates/datasets/src/features.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/sparsify.rs:
+crates/datasets/src/splits.rs:

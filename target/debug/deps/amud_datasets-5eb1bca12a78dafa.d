@@ -1,11 +1,12 @@
-/root/repo/target/debug/deps/amud_datasets-5eb1bca12a78dafa.d: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
+/root/repo/target/debug/deps/amud_datasets-5eb1bca12a78dafa.d: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
 
-/root/repo/target/debug/deps/libamud_datasets-5eb1bca12a78dafa.rlib: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
+/root/repo/target/debug/deps/libamud_datasets-5eb1bca12a78dafa.rlib: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
 
-/root/repo/target/debug/deps/libamud_datasets-5eb1bca12a78dafa.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
+/root/repo/target/debug/deps/libamud_datasets-5eb1bca12a78dafa.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
 
 crates/datasets/src/lib.rs:
 crates/datasets/src/dsbm.rs:
+crates/datasets/src/error.rs:
 crates/datasets/src/features.rs:
 crates/datasets/src/io.rs:
 crates/datasets/src/registry.rs:

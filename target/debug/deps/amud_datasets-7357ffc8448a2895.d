@@ -1,9 +1,10 @@
-/root/repo/target/debug/deps/amud_datasets-7357ffc8448a2895.d: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs Cargo.toml
+/root/repo/target/debug/deps/amud_datasets-7357ffc8448a2895.d: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs Cargo.toml
 
-/root/repo/target/debug/deps/libamud_datasets-7357ffc8448a2895.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs Cargo.toml
+/root/repo/target/debug/deps/libamud_datasets-7357ffc8448a2895.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs Cargo.toml
 
 crates/datasets/src/lib.rs:
 crates/datasets/src/dsbm.rs:
+crates/datasets/src/error.rs:
 crates/datasets/src/features.rs:
 crates/datasets/src/io.rs:
 crates/datasets/src/registry.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/amud_datasets-bc7dbec2a24ad656.d: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamud_datasets-bc7dbec2a24ad656.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs Cargo.toml
+
+crates/datasets/src/lib.rs:
+crates/datasets/src/dsbm.rs:
+crates/datasets/src/error.rs:
+crates/datasets/src/features.rs:
+crates/datasets/src/io.rs:
+crates/datasets/src/registry.rs:
+crates/datasets/src/sparsify.rs:
+crates/datasets/src/splits.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

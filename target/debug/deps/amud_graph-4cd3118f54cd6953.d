@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/amud_graph-4cd3118f54cd6953.d: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/measures.rs crates/graph/src/patterns.rs
+
+/root/repo/target/debug/deps/amud_graph-4cd3118f54cd6953: crates/graph/src/lib.rs crates/graph/src/csr.rs crates/graph/src/digraph.rs crates/graph/src/generate.rs crates/graph/src/io.rs crates/graph/src/measures.rs crates/graph/src/patterns.rs
+
+crates/graph/src/lib.rs:
+crates/graph/src/csr.rs:
+crates/graph/src/digraph.rs:
+crates/graph/src/generate.rs:
+crates/graph/src/io.rs:
+crates/graph/src/measures.rs:
+crates/graph/src/patterns.rs:

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amud_lint-29a42199fe7dc32e.d: crates/lint/src/main.rs
+
+/root/repo/target/debug/deps/amud_lint-29a42199fe7dc32e: crates/lint/src/main.rs
+
+crates/lint/src/main.rs:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint

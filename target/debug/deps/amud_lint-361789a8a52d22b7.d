@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/amud_lint-361789a8a52d22b7.d: crates/lint/src/lib.rs
+
+/root/repo/target/debug/deps/libamud_lint-361789a8a52d22b7.rlib: crates/lint/src/lib.rs
+
+/root/repo/target/debug/deps/libamud_lint-361789a8a52d22b7.rmeta: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/amud_lint-4f75fc1b6dc7595e.d: crates/lint/src/main.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamud_lint-4f75fc1b6dc7595e.rmeta: crates/lint/src/main.rs Cargo.toml
+
+crates/lint/src/main.rs:
+Cargo.toml:
+
+# env-dep:CARGO_MANIFEST_DIR=/root/repo/crates/lint
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

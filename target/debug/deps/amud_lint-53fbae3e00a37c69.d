@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amud_lint-53fbae3e00a37c69.d: crates/lint/src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamud_lint-53fbae3e00a37c69.rmeta: crates/lint/src/lib.rs Cargo.toml
+
+crates/lint/src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/amud_lint-85954f5391a3d038.d: crates/lint/src/lib.rs
+
+/root/repo/target/debug/deps/amud_lint-85954f5391a3d038: crates/lint/src/lib.rs
+
+crates/lint/src/lib.rs:

@@ -1,0 +1,29 @@
+/root/repo/target/debug/deps/amud_models-cf19415389bada18.d: crates/models/src/lib.rs crates/models/src/a2dug.rs crates/models/src/aero.rs crates/models/src/appnp.rs crates/models/src/bernnet.rs crates/models/src/common.rs crates/models/src/dgcn.rs crates/models/src/digcn.rs crates/models/src/dimpa.rs crates/models/src/dirgnn.rs crates/models/src/gat.rs crates/models/src/gcn.rs crates/models/src/glognn.rs crates/models/src/gprgnn.rs crates/models/src/h2gcn.rs crates/models/src/jacobi.rs crates/models/src/labelprop.rs crates/models/src/linkx.rs crates/models/src/magnet.rs crates/models/src/mgc.rs crates/models/src/mlp.rs crates/models/src/nste.rs crates/models/src/registry.rs crates/models/src/sage.rs crates/models/src/sgc.rs
+
+/root/repo/target/debug/deps/amud_models-cf19415389bada18: crates/models/src/lib.rs crates/models/src/a2dug.rs crates/models/src/aero.rs crates/models/src/appnp.rs crates/models/src/bernnet.rs crates/models/src/common.rs crates/models/src/dgcn.rs crates/models/src/digcn.rs crates/models/src/dimpa.rs crates/models/src/dirgnn.rs crates/models/src/gat.rs crates/models/src/gcn.rs crates/models/src/glognn.rs crates/models/src/gprgnn.rs crates/models/src/h2gcn.rs crates/models/src/jacobi.rs crates/models/src/labelprop.rs crates/models/src/linkx.rs crates/models/src/magnet.rs crates/models/src/mgc.rs crates/models/src/mlp.rs crates/models/src/nste.rs crates/models/src/registry.rs crates/models/src/sage.rs crates/models/src/sgc.rs
+
+crates/models/src/lib.rs:
+crates/models/src/a2dug.rs:
+crates/models/src/aero.rs:
+crates/models/src/appnp.rs:
+crates/models/src/bernnet.rs:
+crates/models/src/common.rs:
+crates/models/src/dgcn.rs:
+crates/models/src/digcn.rs:
+crates/models/src/dimpa.rs:
+crates/models/src/dirgnn.rs:
+crates/models/src/gat.rs:
+crates/models/src/gcn.rs:
+crates/models/src/glognn.rs:
+crates/models/src/gprgnn.rs:
+crates/models/src/h2gcn.rs:
+crates/models/src/jacobi.rs:
+crates/models/src/labelprop.rs:
+crates/models/src/linkx.rs:
+crates/models/src/magnet.rs:
+crates/models/src/mgc.rs:
+crates/models/src/mlp.rs:
+crates/models/src/nste.rs:
+crates/models/src/registry.rs:
+crates/models/src/sage.rs:
+crates/models/src/sgc.rs:

@@ -1,0 +1,15 @@
+/root/repo/target/debug/deps/amud_nn-7a31aa64c6f90b58.d: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamud_nn-7a31aa64c6f90b58.rmeta: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs Cargo.toml
+
+crates/nn/src/lib.rs:
+crates/nn/src/complex.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:
+crates/nn/src/verify.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

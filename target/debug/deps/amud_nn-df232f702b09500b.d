@@ -1,0 +1,11 @@
+/root/repo/target/debug/deps/amud_nn-df232f702b09500b.d: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs
+
+/root/repo/target/debug/deps/amud_nn-df232f702b09500b: crates/nn/src/lib.rs crates/nn/src/complex.rs crates/nn/src/linear.rs crates/nn/src/matrix.rs crates/nn/src/optim.rs crates/nn/src/tape.rs crates/nn/src/verify.rs
+
+crates/nn/src/lib.rs:
+crates/nn/src/complex.rs:
+crates/nn/src/linear.rs:
+crates/nn/src/matrix.rs:
+crates/nn/src/optim.rs:
+crates/nn/src/tape.rs:
+crates/nn/src/verify.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/amud_repro-ab50ac5bece3acdb.d: src/lib.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamud_repro-ab50ac5bece3acdb.rmeta: src/lib.rs Cargo.toml
+
+src/lib.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

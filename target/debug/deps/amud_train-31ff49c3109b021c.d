@@ -1,11 +1,13 @@
-/root/repo/target/debug/deps/amud_train-31ff49c3109b021c.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
+/root/repo/target/debug/deps/amud_train-31ff49c3109b021c.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
 
-/root/repo/target/debug/deps/libamud_train-31ff49c3109b021c.rlib: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
+/root/repo/target/debug/deps/libamud_train-31ff49c3109b021c.rlib: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
 
-/root/repo/target/debug/deps/libamud_train-31ff49c3109b021c.rmeta: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
+/root/repo/target/debug/deps/libamud_train-31ff49c3109b021c.rmeta: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
 
 crates/train/src/lib.rs:
 crates/train/src/data.rs:
+crates/train/src/error.rs:
+crates/train/src/faults.rs:
 crates/train/src/grid.rs:
 crates/train/src/metrics.rs:
 crates/train/src/model.rs:

@@ -1,9 +1,11 @@
-/root/repo/target/debug/deps/amud_train-32e90fcaed530860.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs Cargo.toml
+/root/repo/target/debug/deps/amud_train-32e90fcaed530860.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs Cargo.toml
 
-/root/repo/target/debug/deps/libamud_train-32e90fcaed530860.rmeta: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs Cargo.toml
+/root/repo/target/debug/deps/libamud_train-32e90fcaed530860.rmeta: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs Cargo.toml
 
 crates/train/src/lib.rs:
 crates/train/src/data.rs:
+crates/train/src/error.rs:
+crates/train/src/faults.rs:
 crates/train/src/grid.rs:
 crates/train/src/metrics.rs:
 crates/train/src/model.rs:

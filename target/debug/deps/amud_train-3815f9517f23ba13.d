@@ -1,0 +1,12 @@
+/root/repo/target/debug/deps/amud_train-3815f9517f23ba13.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
+
+/root/repo/target/debug/deps/amud_train-3815f9517f23ba13: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
+
+crates/train/src/lib.rs:
+crates/train/src/data.rs:
+crates/train/src/error.rs:
+crates/train/src/faults.rs:
+crates/train/src/grid.rs:
+crates/train/src/metrics.rs:
+crates/train/src/model.rs:
+crates/train/src/trainer.rs:

@@ -1,0 +1,16 @@
+/root/repo/target/debug/deps/amud_train-4b1edf5694dfd9ee.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs Cargo.toml
+
+/root/repo/target/debug/deps/libamud_train-4b1edf5694dfd9ee.rmeta: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs Cargo.toml
+
+crates/train/src/lib.rs:
+crates/train/src/data.rs:
+crates/train/src/error.rs:
+crates/train/src/faults.rs:
+crates/train/src/grid.rs:
+crates/train/src/metrics.rs:
+crates/train/src/model.rs:
+crates/train/src/trainer.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/criterion-67dd09fe9e9c9db3.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-67dd09fe9e9c9db3.rlib: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-67dd09fe9e9c9db3.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/criterion-86fa532a2ca07324.d: crates/compat/criterion/src/lib.rs
+
+/root/repo/target/debug/deps/libcriterion-86fa532a2ca07324.rmeta: crates/compat/criterion/src/lib.rs
+
+crates/compat/criterion/src/lib.rs:

@@ -1,0 +1,10 @@
+/root/repo/target/debug/deps/fault_injection-d0246037bcd9b30e.d: tests/fault_injection.rs Cargo.toml
+
+/root/repo/target/debug/deps/libfault_injection-d0246037bcd9b30e.rmeta: tests/fault_injection.rs Cargo.toml
+
+tests/fault_injection.rs:
+Cargo.toml:
+
+# env-dep:CARGO_BIN_EXE_amud=placeholder:amud
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

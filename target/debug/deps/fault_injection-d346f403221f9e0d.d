@@ -1,0 +1,7 @@
+/root/repo/target/debug/deps/fault_injection-d346f403221f9e0d.d: tests/fault_injection.rs
+
+/root/repo/target/debug/deps/fault_injection-d346f403221f9e0d: tests/fault_injection.rs
+
+tests/fault_injection.rs:
+
+# env-dep:CARGO_BIN_EXE_amud=/root/repo/target/debug/amud

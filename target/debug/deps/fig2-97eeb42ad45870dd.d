@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig2-97eeb42ad45870dd.d: crates/bench/src/bin/fig2.rs
+
+/root/repo/target/debug/deps/fig2-97eeb42ad45870dd: crates/bench/src/bin/fig2.rs
+
+crates/bench/src/bin/fig2.rs:

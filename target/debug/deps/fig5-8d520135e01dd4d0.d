@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig5-8d520135e01dd4d0.d: crates/bench/src/bin/fig5.rs
+
+/root/repo/target/debug/deps/fig5-8d520135e01dd4d0: crates/bench/src/bin/fig5.rs
+
+crates/bench/src/bin/fig5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig6-e03a7b32cd77c8ca.d: crates/bench/src/bin/fig6.rs
+
+/root/repo/target/debug/deps/fig6-e03a7b32cd77c8ca: crates/bench/src/bin/fig6.rs
+
+crates/bench/src/bin/fig6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/fig7-4df4b294b4935c18.d: crates/bench/src/bin/fig7.rs
+
+/root/repo/target/debug/deps/fig7-4df4b294b4935c18: crates/bench/src/bin/fig7.rs
+
+crates/bench/src/bin/fig7.rs:

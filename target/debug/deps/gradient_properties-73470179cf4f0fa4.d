@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/gradient_properties-73470179cf4f0fa4.d: crates/nn/tests/gradient_properties.rs
+
+/root/repo/target/debug/deps/gradient_properties-73470179cf4f0fa4: crates/nn/tests/gradient_properties.rs
+
+crates/nn/tests/gradient_properties.rs:

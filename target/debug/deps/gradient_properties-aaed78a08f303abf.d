@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/gradient_properties-aaed78a08f303abf.d: crates/nn/tests/gradient_properties.rs Cargo.toml
+
+/root/repo/target/debug/deps/libgradient_properties-aaed78a08f303abf.rmeta: crates/nn/tests/gradient_properties.rs Cargo.toml
+
+crates/nn/tests/gradient_properties.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

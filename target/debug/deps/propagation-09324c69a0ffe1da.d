@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/propagation-09324c69a0ffe1da.d: crates/bench/benches/propagation.rs Cargo.toml
+
+/root/repo/target/debug/deps/libpropagation-09324c69a0ffe1da.rmeta: crates/bench/benches/propagation.rs Cargo.toml
+
+crates/bench/benches/propagation.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/proptest-650f01b5bd6a261f.d: crates/compat/proptest/src/lib.rs
+
+/root/repo/target/debug/deps/libproptest-650f01b5bd6a261f.rmeta: crates/compat/proptest/src/lib.rs
+
+crates/compat/proptest/src/lib.rs:

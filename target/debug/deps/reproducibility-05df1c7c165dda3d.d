@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/reproducibility-05df1c7c165dda3d.d: tests/reproducibility.rs Cargo.toml
+
+/root/repo/target/debug/deps/libreproducibility-05df1c7c165dda3d.rmeta: tests/reproducibility.rs Cargo.toml
+
+tests/reproducibility.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/spgemm-024d49f7e878b7e7.d: crates/bench/benches/spgemm.rs Cargo.toml
+
+/root/repo/target/debug/deps/libspgemm-024d49f7e878b7e7.rmeta: crates/bench/benches/spgemm.rs Cargo.toml
+
+crates/bench/benches/spgemm.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table1-045e17814eb41841.d: crates/bench/src/bin/table1.rs
+
+/root/repo/target/debug/deps/table1-045e17814eb41841: crates/bench/src/bin/table1.rs
+
+crates/bench/src/bin/table1.rs:

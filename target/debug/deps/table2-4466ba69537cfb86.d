@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table2-4466ba69537cfb86.d: crates/bench/src/bin/table2.rs
+
+/root/repo/target/debug/deps/table2-4466ba69537cfb86: crates/bench/src/bin/table2.rs
+
+crates/bench/src/bin/table2.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table3-0c54602be038ea38.d: crates/bench/src/bin/table3.rs
+
+/root/repo/target/debug/deps/table3-0c54602be038ea38: crates/bench/src/bin/table3.rs
+
+crates/bench/src/bin/table3.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table4-30c55da5f145d698.d: crates/bench/src/bin/table4.rs
+
+/root/repo/target/debug/deps/table4-30c55da5f145d698: crates/bench/src/bin/table4.rs
+
+crates/bench/src/bin/table4.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table5-20b472ec092743de.d: crates/bench/src/bin/table5.rs
+
+/root/repo/target/debug/deps/table5-20b472ec092743de: crates/bench/src/bin/table5.rs
+
+crates/bench/src/bin/table5.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table6-fb50119087e28e16.d: crates/bench/src/bin/table6.rs
+
+/root/repo/target/debug/deps/table6-fb50119087e28e16: crates/bench/src/bin/table6.rs
+
+crates/bench/src/bin/table6.rs:

@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/table7-5cf9b9c95e69f63c.d: crates/bench/src/bin/table7.rs
+
+/root/repo/target/debug/deps/table7-5cf9b9c95e69f63c: crates/bench/src/bin/table7.rs
+
+crates/bench/src/bin/table7.rs:

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/training-c14447aa0b69f034.d: crates/bench/benches/training.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtraining-c14447aa0b69f034.rmeta: crates/bench/benches/training.rs Cargo.toml
+
+crates/bench/benches/training.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

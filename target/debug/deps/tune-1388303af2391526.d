@@ -1,0 +1,5 @@
+/root/repo/target/debug/deps/tune-1388303af2391526.d: crates/bench/src/bin/tune.rs
+
+/root/repo/target/debug/deps/tune-1388303af2391526: crates/bench/src/bin/tune.rs
+
+crates/bench/src/bin/tune.rs:

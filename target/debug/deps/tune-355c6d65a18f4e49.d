@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/tune-355c6d65a18f4e49.d: crates/bench/src/bin/tune.rs Cargo.toml
+
+/root/repo/target/debug/deps/libtune-355c6d65a18f4e49.rmeta: crates/bench/src/bin/tune.rs Cargo.toml
+
+crates/bench/src/bin/tune.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/deps/verify_models-1882f589fa5cc54e.d: tests/verify_models.rs Cargo.toml
+
+/root/repo/target/debug/deps/libverify_models-1882f589fa5cc54e.rmeta: tests/verify_models.rs Cargo.toml
+
+tests/verify_models.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/amud_audit-b859ee88a22572fd.d: examples/amud_audit.rs Cargo.toml
+
+/root/repo/target/debug/examples/libamud_audit-b859ee88a22572fd.rmeta: examples/amud_audit.rs Cargo.toml
+
+examples/amud_audit.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

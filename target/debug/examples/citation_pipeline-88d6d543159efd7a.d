@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/citation_pipeline-88d6d543159efd7a.d: examples/citation_pipeline.rs Cargo.toml
+
+/root/repo/target/debug/examples/libcitation_pipeline-88d6d543159efd7a.rmeta: examples/citation_pipeline.rs Cargo.toml
+
+examples/citation_pipeline.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

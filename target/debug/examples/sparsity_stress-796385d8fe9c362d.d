@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/sparsity_stress-796385d8fe9c362d.d: examples/sparsity_stress.rs Cargo.toml
+
+/root/repo/target/debug/examples/libsparsity_stress-796385d8fe9c362d.rmeta: examples/sparsity_stress.rs Cargo.toml
+
+examples/sparsity_stress.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

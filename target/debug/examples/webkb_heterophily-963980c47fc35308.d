@@ -1,0 +1,9 @@
+/root/repo/target/debug/examples/webkb_heterophily-963980c47fc35308.d: examples/webkb_heterophily.rs Cargo.toml
+
+/root/repo/target/debug/examples/libwebkb_heterophily-963980c47fc35308.rmeta: examples/webkb_heterophily.rs Cargo.toml
+
+examples/webkb_heterophily.rs:
+Cargo.toml:
+
+# env-dep:CLIPPY_ARGS=-D__CLIPPY_HACKERY__warnings__CLIPPY_HACKERY__
+# env-dep:CLIPPY_CONF_DIR

@@ -1,11 +1,12 @@
-/root/repo/target/release/deps/amud_datasets-838f9071034941f4.d: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
+/root/repo/target/release/deps/amud_datasets-838f9071034941f4.d: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
 
-/root/repo/target/release/deps/libamud_datasets-838f9071034941f4.rlib: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
+/root/repo/target/release/deps/libamud_datasets-838f9071034941f4.rlib: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
 
-/root/repo/target/release/deps/libamud_datasets-838f9071034941f4.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
+/root/repo/target/release/deps/libamud_datasets-838f9071034941f4.rmeta: crates/datasets/src/lib.rs crates/datasets/src/dsbm.rs crates/datasets/src/error.rs crates/datasets/src/features.rs crates/datasets/src/io.rs crates/datasets/src/registry.rs crates/datasets/src/sparsify.rs crates/datasets/src/splits.rs
 
 crates/datasets/src/lib.rs:
 crates/datasets/src/dsbm.rs:
+crates/datasets/src/error.rs:
 crates/datasets/src/features.rs:
 crates/datasets/src/io.rs:
 crates/datasets/src/registry.rs:

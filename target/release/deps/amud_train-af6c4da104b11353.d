@@ -1,11 +1,13 @@
-/root/repo/target/release/deps/amud_train-af6c4da104b11353.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
+/root/repo/target/release/deps/amud_train-af6c4da104b11353.d: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
 
-/root/repo/target/release/deps/libamud_train-af6c4da104b11353.rlib: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
+/root/repo/target/release/deps/libamud_train-af6c4da104b11353.rlib: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
 
-/root/repo/target/release/deps/libamud_train-af6c4da104b11353.rmeta: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
+/root/repo/target/release/deps/libamud_train-af6c4da104b11353.rmeta: crates/train/src/lib.rs crates/train/src/data.rs crates/train/src/error.rs crates/train/src/faults.rs crates/train/src/grid.rs crates/train/src/metrics.rs crates/train/src/model.rs crates/train/src/trainer.rs
 
 crates/train/src/lib.rs:
 crates/train/src/data.rs:
+crates/train/src/error.rs:
+crates/train/src/faults.rs:
 crates/train/src/grid.rs:
 crates/train/src/metrics.rs:
 crates/train/src/model.rs:
