@@ -23,12 +23,24 @@ fi
 echo "==> cargo build --release"
 cargo build --release
 
-echo "==> cargo test -q"
-cargo test -q
+# Tier-1 tests run under two thread budgets: the exact serial fallback
+# and a 4-way pool. The amud-par determinism contract says both must see
+# bit-identical numerics, so any seed-pinned assertion that passes at one
+# budget and fails at the other is a runtime bug, not flake.
+echo "==> AMUD_THREADS=1 cargo test -q"
+AMUD_THREADS=1 cargo test -q
+
+echo "==> AMUD_THREADS=4 cargo test -q"
+AMUD_THREADS=4 cargo test -q
 
 # The fault-injection suite proves every injected failure is recovered or
 # surfaces as a typed error (and pins the CLI exit-code table).
 echo "==> cargo test -q --test fault_injection"
 cargo test -q --test fault_injection
+
+# Kernel benchmark smoke run: times serial vs parallel on CI-sized shapes
+# and fails if any kernel's outputs diverge bitwise between the budgets.
+echo "==> bench-kernels --smoke"
+cargo run --release -q -p amud-bench --bin bench-kernels -- --smoke --out /tmp/BENCH_kernels_smoke.json
 
 echo "ci: all green"

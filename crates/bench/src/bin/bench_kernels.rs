@@ -1,0 +1,255 @@
+//! `bench-kernels` — serial vs parallel timings for the amud-par hot paths.
+//!
+//! Times every runtime-backed kernel (`matmul`, `matmul_transb`,
+//! `matmul_transa`, `CsrMatrix::spmm`, and the elementwise/softmax layer)
+//! at dataset-scale shapes, once with a 1-thread budget (exact serial
+//! fallback) and once with the full `AMUD_THREADS` budget, and writes
+//! machine-readable results to `BENCH_kernels.json`. Every pair is also
+//! compared bitwise, so the report doubles as an equivalence check.
+//!
+//! ```text
+//! cargo run --release -p amud-bench --bin bench-kernels             # full shapes
+//! cargo run --release -p amud-bench --bin bench-kernels -- --smoke  # CI-sized
+//! cargo run --release -p amud-bench --bin bench-kernels -- --out p.json
+//! ```
+//!
+//! Speedup expectations are hardware-gated: on a single-core host the
+//! parallel budget collapses to 1 and `speedup` hovers around 1.0; the
+//! `host_threads` field records what the numbers were measured on.
+
+use amud_graph::CsrMatrix;
+use amud_nn::DenseMatrix;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct KernelResult {
+    kernel: &'static str,
+    shape: String,
+    serial_ms: f64,
+    parallel_ms: f64,
+    bit_identical: bool,
+}
+
+/// Minimum wall-clock over `reps` runs (the standard noise filter for
+/// micro-benchmarks: the minimum is the least-perturbed observation).
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    let mut best = f64::INFINITY;
+    let mut out = f();
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+fn bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn seeded(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
+/// Synthetic propagation operator at node count `n`: average degree ~16
+/// with a handful of high-degree hubs and a band of empty rows, mirroring
+/// the skew of real citation/co-purchase graphs.
+fn skewed_operator(n: usize, seed: u64) -> CsrMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    let mut edges: Vec<(usize, usize, f32)> = Vec::new();
+    for hub in 0..(n / 200).max(1) {
+        for _ in 0..n / 4 {
+            edges.push((hub, rng.gen_range(0..n as u64) as usize, rng.gen_range(0.0f32..1.0)));
+        }
+    }
+    for r in (n / 200).max(1)..n {
+        if r % 23 == 0 {
+            continue; // empty rows
+        }
+        for _ in 0..16 {
+            edges.push((r, rng.gen_range(0..n as u64) as usize, rng.gen_range(0.0f32..1.0)));
+        }
+    }
+    match CsrMatrix::from_coo(n, n, edges) {
+        Ok(m) => m,
+        Err(e) => {
+            eprintln!("error: synthetic operator construction failed: {e:?}");
+            std::process::exit(1);
+        }
+    }
+}
+
+fn run_pair(reps: usize, par_budget: usize, f: impl Fn() -> Vec<f32>) -> (f64, f64, bool) {
+    let (serial_ms, serial_out) = amud_par::with_threads(1, || time_min(reps, &f));
+    let (parallel_ms, parallel_out) = amud_par::with_threads(par_budget, || time_min(reps, &f));
+    (serial_ms, parallel_ms, bits_equal(&serial_out, &parallel_out))
+}
+
+fn json_escape_free(s: &str) -> &str {
+    debug_assert!(!s.contains('"') && !s.contains('\\'), "labels stay escape-free");
+    s
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+
+    let par_budget = amud_par::max_threads();
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let reps = if smoke { 2 } else { 5 };
+    // (nodes, features, hidden): tiny replica, default replica cap, and a
+    // full-scale shape whose k-extent crosses TRANSA_BLOCK_ROWS.
+    let dense_shapes: &[(usize, usize, usize)] = if smoke {
+        &[(256, 64, 32), (1200, 128, 64)]
+    } else {
+        &[(256, 64, 32), (1200, 128, 64), (4096, 256, 128)]
+    };
+    let spmm_shapes: &[(usize, usize)] =
+        if smoke { &[(1200, 32)] } else { &[(1200, 64), (4096, 64), (16384, 64)] };
+
+    let mut results: Vec<KernelResult> = Vec::new();
+
+    for &(n, f, h) in dense_shapes {
+        let a = seeded(n, f, 1);
+        let b = seeded(f, h, 2);
+        let bt = seeded(h, f, 3);
+        let g = seeded(n, h, 4);
+        let shape = format!("{n}x{f}x{h}");
+
+        let (s, p, ok) = run_pair(reps, par_budget, || a.matmul(&b).as_slice().to_vec());
+        results.push(KernelResult {
+            kernel: "matmul",
+            shape: shape.clone(),
+            serial_ms: s,
+            parallel_ms: p,
+            bit_identical: ok,
+        });
+
+        let (s, p, ok) = run_pair(reps, par_budget, || a.matmul_transb(&bt).as_slice().to_vec());
+        results.push(KernelResult {
+            kernel: "matmul_transb",
+            shape: shape.clone(),
+            serial_ms: s,
+            parallel_ms: p,
+            bit_identical: ok,
+        });
+
+        let (s, p, ok) = run_pair(reps, par_budget, || a.matmul_transa(&g).as_slice().to_vec());
+        results.push(KernelResult {
+            kernel: "matmul_transa",
+            shape: shape.clone(),
+            serial_ms: s,
+            parallel_ms: p,
+            bit_identical: ok,
+        });
+
+        let (s, p, ok) = run_pair(reps, par_budget, || a.transpose().as_slice().to_vec());
+        results.push(KernelResult {
+            kernel: "transpose",
+            shape: format!("{n}x{f}"),
+            serial_ms: s,
+            parallel_ms: p,
+            bit_identical: ok,
+        });
+
+        let (s, p, ok) = run_pair(reps, par_budget, || {
+            let mut m = a.map(|v| 1.0 / (1.0 + (-v).exp()));
+            m.par_rows_mut(|_, row| {
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for v in row.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            });
+            m.as_slice().to_vec()
+        });
+        results.push(KernelResult {
+            kernel: "elementwise_softmax",
+            shape: format!("{n}x{f}"),
+            serial_ms: s,
+            parallel_ms: p,
+            bit_identical: ok,
+        });
+    }
+
+    for &(n, x_cols) in spmm_shapes {
+        let op = skewed_operator(n, 7);
+        let x = seeded(n, x_cols, 8);
+        let shape = format!("{n}x{n} nnz={} X={n}x{x_cols}", op.nnz());
+        let (s, p, ok) = run_pair(reps, par_budget, || {
+            let mut out = vec![0.0f32; n * x_cols];
+            op.spmm(x.as_slice(), x_cols, &mut out);
+            out
+        });
+        results.push(KernelResult {
+            kernel: "spmm",
+            shape,
+            serial_ms: s,
+            parallel_ms: p,
+            bit_identical: ok,
+        });
+    }
+
+    // Human-readable table.
+    println!(
+        "bench-kernels: host_threads={host_threads} amud_threads={par_budget} reps={reps}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+    println!(
+        "{:<20} {:<34} {:>10} {:>10} {:>8}  bits",
+        "kernel", "shape", "serial", "parallel", "speedup"
+    );
+    for r in &results {
+        println!(
+            "{:<20} {:<34} {:>8.3}ms {:>8.3}ms {:>7.2}x  {}",
+            r.kernel,
+            r.shape,
+            r.serial_ms,
+            r.parallel_ms,
+            r.serial_ms / r.parallel_ms,
+            if r.bit_identical { "identical" } else { "DIVERGED" }
+        );
+    }
+
+    // Machine-readable JSON (hand-rendered: std-only workspace).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("  \"amud_threads\": {par_budget},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"results\": [\n");
+    for (i, r) in results.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \"speedup\": {:.4}, \"bit_identical\": {}}}{}\n",
+            json_escape_free(r.kernel),
+            json_escape_free(&r.shape),
+            r.serial_ms,
+            r.parallel_ms,
+            r.serial_ms / r.parallel_ms,
+            r.bit_identical,
+            if i + 1 < results.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ]\n}\n");
+    if let Err(e) = std::fs::write(&out_path, json) {
+        eprintln!("error: cannot write {out_path}: {e}");
+        std::process::exit(1);
+    }
+    println!("\nwrote {out_path}");
+
+    if results.iter().any(|r| !r.bit_identical) {
+        eprintln!("error: a kernel diverged between serial and parallel runs");
+        std::process::exit(1);
+    }
+}

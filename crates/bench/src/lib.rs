@@ -16,12 +16,15 @@
 //! | `fig5`   | Fig. 5 — training curves |
 //! | `fig6`   | Fig. 6 — propagation-step sweep |
 //! | `fig7`   | Fig. 7 — sparsity robustness |
+//! | `bench-kernels` | serial vs parallel kernel timings → `BENCH_kernels.json` |
 //!
 //! Shared environment knobs (all optional):
 //!
 //! * `AMUD_SCALE` — `tiny` / `default` / `full` replica scale;
 //! * `AMUD_REPEATS` — seeded repeats per cell (default 3);
-//! * `AMUD_EPOCHS` — training epochs (default 150).
+//! * `AMUD_EPOCHS` — training epochs (default 150);
+//! * `AMUD_THREADS` — kernel thread budget (default = available cores;
+//!   results are bit-identical at any value).
 
 use amud_core::{Adpa, AdpaConfig};
 use amud_datasets::{replica, Dataset, ReplicaScale};

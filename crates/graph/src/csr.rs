@@ -190,6 +190,11 @@ impl CsrMatrix {
     ///
     /// This is the hot loop of feature propagation; it streams each sparse
     /// row once and accumulates whole dense rows, which vectorises well.
+    /// Output rows are split into per-thread blocks with *nnz-balanced*
+    /// boundaries (`row_ptr` is exactly the cumulative-work prefix the
+    /// partitioner wants), so one hub row cannot serialise the whole
+    /// product. Every row is reduced by the same scalar loop as serial —
+    /// the result is bit-identical at any `AMUD_THREADS`.
     ///
     /// # Panics
     /// Panics on shape mismatch.
@@ -201,15 +206,34 @@ impl CsrMatrix {
             "spmm: non-finite edge weight in operator"
         );
         debug_assert!(x.iter().all(|v| v.is_finite()), "spmm: non-finite input entry");
-        out.fill(0.0);
-        for r in 0..self.n_rows {
-            let out_row = &mut out[r * x_cols..(r + 1) * x_cols];
-            for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
-                let x_row = &x[c as usize * x_cols..(c as usize + 1) * x_cols];
-                for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                    *o += v * xv;
+        if x_cols == 0 {
+            return;
+        }
+        let parts = self.spmm_parts(x_cols);
+        amud_par::par_row_blocks_mut(out, x_cols, &parts, |_, rows, block| {
+            block.fill(0.0);
+            for (out_row, r) in block.chunks_exact_mut(x_cols).zip(rows) {
+                for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
+                    let x_row = &x[c as usize * x_cols..(c as usize + 1) * x_cols];
+                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
+                        *o += v * xv;
+                    }
                 }
             }
+        });
+    }
+
+    /// Row partition for [`Self::spmm`]: a single range when the product is
+    /// too small to fan out, otherwise nnz-balanced cuts of `row_ptr`.
+    /// Purely a function of the sparsity pattern and `x_cols`.
+    fn spmm_parts(&self, x_cols: usize) -> Vec<std::ops::Range<usize>> {
+        /// Minimum multiply-add count before `spmm` fans out.
+        const SPMM_MIN_FLOPS: usize = 1 << 15;
+        let threads = amud_par::current_threads();
+        if threads <= 1 || self.nnz().saturating_mul(x_cols) < SPMM_MIN_FLOPS {
+            std::iter::once(0..self.n_rows).collect()
+        } else {
+            amud_par::split_by_weight(&self.row_ptr, threads)
         }
     }
 

@@ -5,3 +5,7 @@
 pub fn first(xs: &[u32]) -> u32 {
     *xs.first().unwrap()
 }
+
+pub fn rogue_thread() {
+    std::thread::spawn(|| {});
+}

@@ -16,6 +16,10 @@
 //!    `// SAFETY:` comment on the same or the preceding line.
 //! 4. **doc coverage** — every `pub` item in `amud-core` (the crate other
 //!    people read first) carries a doc comment.
+//! 5. **raw thread-spawn ban** — no `thread::spawn` / `thread::Builder`
+//!    outside `amud-par`: all workspace parallelism goes through the
+//!    deterministic runtime (DESIGN.md §9), so thread-count behaviour and
+//!    the bit-identity contract stay centralised in one crate.
 //!
 //! The scanner is deliberately simple: files are processed line by line,
 //! `//` comments are stripped before token matching, and everything from
@@ -34,6 +38,7 @@ pub enum RuleKind {
     PanicInKernel,
     MissingSafetyComment,
     UndocumentedPublicItem,
+    RawThreadSpawn,
 }
 
 impl RuleKind {
@@ -43,6 +48,7 @@ impl RuleKind {
             RuleKind::PanicInKernel => "panic-in-kernel",
             RuleKind::MissingSafetyComment => "missing-safety-comment",
             RuleKind::UndocumentedPublicItem => "undocumented-public-item",
+            RuleKind::RawThreadSpawn => "raw-thread-spawn",
         }
     }
 }
@@ -69,13 +75,19 @@ pub struct FileRules {
     pub forbid_panic: bool,
     /// Require doc comments on `pub` items (the flagship API crate).
     pub require_docs: bool,
+    /// Ban raw `thread::spawn` / `thread::Builder` (everywhere except the
+    /// `amud-par` runtime itself).
+    pub forbid_raw_threads: bool,
 }
 
 /// Rule set for a workspace-relative path.
 pub fn rules_for(path: &str) -> FileRules {
     FileRules {
-        forbid_panic: path.starts_with("crates/nn/src/") || path.starts_with("crates/graph/src/"),
+        forbid_panic: path.starts_with("crates/nn/src/")
+            || path.starts_with("crates/graph/src/")
+            || path.starts_with("crates/par/src/"),
         require_docs: path.starts_with("crates/core/src/"),
+        forbid_raw_threads: !path.starts_with("crates/par/src/"),
     }
 }
 
@@ -220,6 +232,23 @@ pub fn lint_source(path: &str, source: &str) -> FileReport {
                         rule: RuleKind::PanicInKernel,
                         message: format!(
                             "`{mac}` in a kernel crate — return a Result or document the invariant with expect()"
+                        ),
+                    });
+                }
+            }
+        }
+
+        // Rule 5: raw thread-spawn ban.
+        if rules.forbid_raw_threads {
+            for token in ["thread::spawn", "thread::Builder"] {
+                if code.contains(token) {
+                    report.violations.push(Violation {
+                        file: path.to_string(),
+                        line: line_no,
+                        rule: RuleKind::RawThreadSpawn,
+                        message: format!(
+                            "`{token}` outside amud-par — use the deterministic runtime \
+                             (amud_par::run / par_row_blocks_mut) instead"
                         ),
                     });
                 }
@@ -406,6 +435,24 @@ mod tests {
     fn pub_use_and_restricted_visibility_are_exempt() {
         let src = "pub use crate::thing::Thing;\npub(crate) fn helper() {}\n";
         assert!(lint_source(CORE_PATH, src).violations.is_empty());
+    }
+
+    #[test]
+    fn raw_thread_spawn_banned_outside_amud_par() {
+        let spawn = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
+        let report = lint_source(PLAIN_PATH, spawn);
+        assert_eq!(report.violations.len(), 1);
+        assert_eq!(report.violations[0].rule, RuleKind::RawThreadSpawn);
+        assert_eq!(report.violations[0].line, 2);
+
+        let builder = "fn f() {\n    std::thread::Builder::new();\n}\n";
+        assert_eq!(lint_source(KERNEL_PATH, builder).violations.len(), 1);
+
+        // The runtime crate itself may spawn, and test modules are exempt.
+        assert!(lint_source("crates/par/src/pool.rs", spawn).violations.is_empty());
+        let in_tests =
+            "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}\n";
+        assert!(lint_source(PLAIN_PATH, in_tests).violations.is_empty());
     }
 
     #[test]

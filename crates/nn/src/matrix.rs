@@ -6,8 +6,64 @@
 //! loops arranged for cache-friendly row streaming, per the Rust
 //! performance-book guidance (no bounds checks in inner loops thanks to
 //! slice windows, no allocation inside kernels).
+//!
+//! The hot kernels run on the `amud-par` runtime (DESIGN.md §9):
+//!
+//! * `matmul` / `matmul_transb` parallelise over disjoint blocks of
+//!   *output rows*, each block running the identical scalar row loop the
+//!   serial kernel runs — so the result is bit-identical to serial at any
+//!   `AMUD_THREADS`.
+//! * `matmul_transa` (the gradient path) scatters along its `k` loop, so
+//!   it is computed as per-block partial products over a **fixed** k-block
+//!   structure ([`TRANSA_BLOCK_ROWS`] rows per block, independent of the
+//!   thread count) folded in ascending block order — deterministic at any
+//!   thread count, and exactly the legacy serial kernel whenever the
+//!   k-extent fits one block (which covers every default-scale dataset).
+//! * the elementwise helpers (`par_map`, `par_zip_assign`,
+//!   `par_rows_mut`) split on fixed element/row boundaries; per-element
+//!   work is order-free, so they too are bit-identical to serial.
+//!
+//! Small inputs skip the pool entirely via work thresholds (pure
+//! functions of the shape, so the serial/parallel decision is itself
+//! deterministic).
 
 use rand::Rng;
+use std::ops::Range;
+
+/// Minimum multiply-add count before a matmul-family kernel fans out.
+const PAR_MIN_FLOPS: usize = 1 << 15;
+/// Minimum element count before an elementwise helper fans out.
+const PAR_MIN_ELEMS: usize = 1 << 13;
+/// Fixed k-extent of one `matmul_transa` reduction block. Chosen above the
+/// default replica node cap (1200) so every tier-1 training shape stays in
+/// the single-block regime and reproduces the legacy serial kernel bit for
+/// bit; large (full-scale) shapes split into at most [`TRANSA_MAX_BLOCKS`]
+/// blocks regardless of thread count.
+const TRANSA_BLOCK_ROWS: usize = 2048;
+/// Cap on `matmul_transa` partial buffers (bounds scratch memory).
+const TRANSA_MAX_BLOCKS: usize = 64;
+
+/// Output-row partition for the matmul-family kernels: one range per
+/// participating thread, or a single range when the matrix is too small
+/// to be worth fanning out. Purely shape-driven.
+fn output_row_parts(n_rows: usize, flops_per_row: usize) -> Vec<Range<usize>> {
+    let threads = amud_par::current_threads();
+    if threads <= 1 || n_rows.saturating_mul(flops_per_row) < PAR_MIN_FLOPS {
+        std::iter::once(0..n_rows).collect()
+    } else {
+        amud_par::split_even(n_rows, threads)
+    }
+}
+
+/// Element partition for the elementwise helpers (same policy).
+fn elem_parts(len: usize) -> Vec<Range<usize>> {
+    let threads = amud_par::current_threads();
+    if threads <= 1 || len < PAR_MIN_ELEMS {
+        std::iter::once(0..len).collect()
+    } else {
+        amud_par::split_even(len, threads)
+    }
+}
 
 /// A dense row-major matrix of `f32`.
 #[derive(Debug, Clone, PartialEq)]
@@ -99,7 +155,9 @@ impl DenseMatrix {
     }
 
     /// `self · other` — the classic ikj loop: streams `other` row-wise so the
-    /// inner loop is a contiguous axpy.
+    /// inner loop is a contiguous axpy. Output rows are computed in parallel
+    /// blocks; every row runs the identical scalar loop, so the product is
+    /// bit-identical at any thread count.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
@@ -108,23 +166,29 @@ impl DenseMatrix {
         debug_assert!(self.data.iter().all(|v| v.is_finite()), "matmul: non-finite lhs entry");
         debug_assert!(other.data.iter().all(|v| v.is_finite()), "matmul: non-finite rhs entry");
         let mut out = DenseMatrix::zeros(self.rows, other.cols);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-            for (k, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
-                    continue;
-                }
-                let b_row = other.row(k);
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+        if other.cols == 0 {
+            return out;
+        }
+        let parts = output_row_parts(self.rows, self.cols * other.cols);
+        amud_par::par_row_blocks_mut(&mut out.data, other.cols, &parts, |_, rows, block| {
+            for (out_row, i) in block.chunks_exact_mut(other.cols).zip(rows) {
+                let a_row = self.row(i);
+                for (k, &a) in a_row.iter().enumerate() {
+                    if a == 0.0 {
+                        continue;
+                    }
+                    let b_row = other.row(k);
+                    for (o, &b) in out_row.iter_mut().zip(b_row) {
+                        *o += a * b;
+                    }
                 }
             }
-        }
+        });
         out
     }
 
     /// `self · otherᵀ` — inner loop is a dot product of two contiguous rows.
+    /// Parallel over output-row blocks, bit-identical to serial.
     pub fn matmul_transb(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, other.cols, "matmul_transb: inner dimensions differ");
         debug_assert!(
@@ -132,21 +196,35 @@ impl DenseMatrix {
             "matmul_transb: non-finite operand entry"
         );
         let mut out = DenseMatrix::zeros(self.rows, other.rows);
-        for i in 0..self.rows {
-            let a_row = self.row(i);
-            for j in 0..other.rows {
-                let b_row = other.row(j);
-                let mut acc = 0.0f32;
-                for (&a, &b) in a_row.iter().zip(b_row) {
-                    acc += a * b;
-                }
-                out.data[i * other.rows + j] = acc;
-            }
+        if other.rows == 0 {
+            return out;
         }
+        let parts = output_row_parts(self.rows, self.cols * other.rows);
+        amud_par::par_row_blocks_mut(&mut out.data, other.rows, &parts, |_, rows, block| {
+            for (out_row, i) in block.chunks_exact_mut(other.rows).zip(rows) {
+                let a_row = self.row(i);
+                for (j, o) in out_row.iter_mut().enumerate() {
+                    let b_row = other.row(j);
+                    let mut acc = 0.0f32;
+                    for (&a, &b) in a_row.iter().zip(b_row) {
+                        acc += a * b;
+                    }
+                    *o = acc;
+                }
+            }
+        });
         out
     }
 
     /// `selfᵀ · other` — accumulates rank-1 updates row by row.
+    ///
+    /// The scatter runs over a *fixed* k-block structure: `self.rows` is cut
+    /// into `ceil(rows / TRANSA_BLOCK_ROWS)` blocks (capped at
+    /// [`TRANSA_MAX_BLOCKS`]) that depend only on the shape, each block's
+    /// partial product is computed independently (in parallel), and the
+    /// partials are folded in ascending block order on one thread. One
+    /// block ⇒ the fold degenerates to the legacy serial kernel, which is
+    /// the case for every default-scale dataset (k ≤ 1200 < 2048).
     pub fn matmul_transa(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.rows, other.rows, "matmul_transa: inner dimensions differ");
         debug_assert!(
@@ -154,48 +232,132 @@ impl DenseMatrix {
             "matmul_transa: non-finite operand entry"
         );
         let mut out = DenseMatrix::zeros(self.cols, other.cols);
-        for k in 0..self.rows {
-            let a_row = self.row(k);
-            let b_row = other.row(k);
-            for (i, &a) in a_row.iter().enumerate() {
-                if a == 0.0 {
+        let out_len = out.data.len();
+        // Block count is a pure function of the k-extent — never of the
+        // thread count — so the summation tree is the same everywhere.
+        let n_blocks = if self.rows == 0 {
+            1
+        } else {
+            self.rows.div_ceil(TRANSA_BLOCK_ROWS).min(TRANSA_MAX_BLOCKS)
+        };
+        if n_blocks == 1 || out_len == 0 {
+            Self::transa_block(self, other, 0..self.rows, &mut out.data);
+            return out;
+        }
+        let k_ranges = amud_par::split_even(self.rows, n_blocks);
+        let block_parts: Vec<Range<usize>> = (0..n_blocks).map(|b| b..b + 1).collect();
+        let mut partials = vec![0.0f32; n_blocks * out_len];
+        amud_par::par_row_blocks_mut(&mut partials, out_len, &block_parts, |b, _, partial| {
+            Self::transa_block(self, other, k_ranges[b].clone(), partial);
+        });
+        // Ascending-order fold; block 0 is copied (not added to the zero
+        // buffer) so signed zeros survive exactly as the block produced them.
+        out.data.copy_from_slice(&partials[..out_len]);
+        for partial in partials.chunks_exact(out_len).skip(1) {
+            for (o, &p) in out.data.iter_mut().zip(partial) {
+                *o += p;
+            }
+        }
+        out
+    }
+
+    /// One k-block of the `selfᵀ · other` scatter: the legacy serial loop
+    /// restricted to `ks`, accumulating into `acc` (length `cols·other.cols`).
+    fn transa_block(a: &DenseMatrix, b: &DenseMatrix, ks: Range<usize>, acc: &mut [f32]) {
+        for k in ks {
+            let a_row = a.row(k);
+            let b_row = b.row(k);
+            for (i, &av) in a_row.iter().enumerate() {
+                if av == 0.0 {
                     continue;
                 }
-                let out_row = &mut out.data[i * other.cols..(i + 1) * other.cols];
-                for (o, &b) in out_row.iter_mut().zip(b_row) {
-                    *o += a * b;
+                let out_row = &mut acc[i * b.cols..(i + 1) * b.cols];
+                for (o, &bv) in out_row.iter_mut().zip(b_row) {
+                    *o += av * bv;
                 }
             }
         }
-        out
     }
 
-    /// Out-of-place transpose.
+    /// Out-of-place transpose, tiled `TRANSPOSE_BLOCK × TRANSPOSE_BLOCK` so
+    /// both the read and the write footprint of a tile stay cache-resident,
+    /// and parallel over output-row blocks (pure assignment — order-free).
     pub fn transpose(&self) -> DenseMatrix {
+        const TRANSPOSE_BLOCK: usize = 32;
         let mut out = DenseMatrix::zeros(self.cols, self.rows);
-        for r in 0..self.rows {
-            for c in 0..self.cols {
-                out.data[c * self.rows + r] = self.data[r * self.cols + c];
-            }
+        if self.data.is_empty() {
+            return out;
         }
+        let parts = output_row_parts(self.cols, self.rows);
+        amud_par::par_row_blocks_mut(&mut out.data, self.rows, &parts, |_, cols, block| {
+            for r0 in (0..self.rows).step_by(TRANSPOSE_BLOCK) {
+                let r1 = (r0 + TRANSPOSE_BLOCK).min(self.rows);
+                for c0 in (cols.start..cols.end).step_by(TRANSPOSE_BLOCK) {
+                    let c1 = (c0 + TRANSPOSE_BLOCK).min(cols.end);
+                    for c in c0..c1 {
+                        let out_row = &mut block[(c - cols.start) * self.rows..];
+                        for (r, o) in
+                            out_row[r0..r1].iter_mut().enumerate().map(|(i, o)| (r0 + i, o))
+                        {
+                            *o = self.data[r * self.cols + c];
+                        }
+                    }
+                }
+            }
+        });
         out
     }
 
-    /// Elementwise map into a new matrix.
-    pub fn map(&self, f: impl Fn(f32) -> f32) -> DenseMatrix {
-        DenseMatrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().map(|&x| f(x)).collect(),
+    /// Elementwise map into a new matrix, parallel over fixed element
+    /// ranges (each element depends only on its own input — order-free).
+    pub fn map(&self, f: impl Fn(f32) -> f32 + Sync) -> DenseMatrix {
+        let mut out = DenseMatrix::zeros(self.rows, self.cols);
+        let parts = elem_parts(self.data.len());
+        amud_par::par_row_blocks_mut(&mut out.data, 1, &parts, |_, range, chunk| {
+            for (o, &x) in chunk.iter_mut().zip(&self.data[range]) {
+                *o = f(x);
+            }
+        });
+        out
+    }
+
+    /// In-place elementwise zip with a same-length slice:
+    /// `f(&mut self[i], other[i])` for every `i`, parallel over fixed
+    /// element ranges. The autodiff backward pass runs its elementwise
+    /// gradient rules through this.
+    ///
+    /// # Panics
+    /// Panics if `other.len() != rows * cols`.
+    pub fn par_zip_assign(&mut self, other: &[f32], f: impl Fn(&mut f32, f32) + Sync) {
+        assert_eq!(self.data.len(), other.len(), "par_zip_assign: length mismatch");
+        let parts = elem_parts(self.data.len());
+        amud_par::par_row_blocks_mut(&mut self.data, 1, &parts, |_, range, chunk| {
+            for (a, &b) in chunk.iter_mut().zip(&other[range]) {
+                f(a, b);
+            }
+        });
+    }
+
+    /// Runs `f(r, row)` over every row, parallel over fixed row blocks.
+    /// Each row is processed by the same scalar code as a serial loop, so
+    /// per-row transforms (softmax, normalisation) stay bit-identical.
+    pub fn par_rows_mut(&mut self, f: impl Fn(usize, &mut [f32]) + Sync) {
+        if self.cols == 0 {
+            return;
         }
+        let parts = output_row_parts(self.rows, self.cols);
+        let cols = self.cols;
+        amud_par::par_row_blocks_mut(&mut self.data, cols, &parts, |_, rows, block| {
+            for (row, r) in block.chunks_exact_mut(cols).zip(rows) {
+                f(r, row);
+            }
+        });
     }
 
     /// `self += alpha * other` (same shape).
     pub fn add_scaled_assign(&mut self, other: &DenseMatrix, alpha: f32) {
         assert_eq!(self.shape(), other.shape(), "add_scaled_assign: shape mismatch");
-        for (a, &b) in self.data.iter_mut().zip(&other.data) {
-            *a += alpha * b;
-        }
+        self.par_zip_assign(&other.data, move |a, b| *a += alpha * b);
     }
 
     /// Elementwise sum of two matrices.
@@ -209,11 +371,9 @@ impl DenseMatrix {
     /// Elementwise (Hadamard) product.
     pub fn hadamard(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.shape(), other.shape(), "hadamard: shape mismatch");
-        DenseMatrix {
-            rows: self.rows,
-            cols: self.cols,
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| a * b).collect(),
-        }
+        let mut out = self.clone();
+        out.par_zip_assign(&other.data, |a, b| *a *= b);
+        out
     }
 
     /// Scales all entries by `alpha`.
@@ -256,17 +416,22 @@ impl DenseMatrix {
     }
 
     /// Per-row index of the maximum entry — the predicted class per node.
+    /// Parallel over fixed row ranges; each row's scan is independent.
     pub fn argmax_rows(&self) -> Vec<usize> {
-        (0..self.rows)
-            .map(|r| {
-                self.row(r)
+        let mut out = vec![0usize; self.rows];
+        let parts = output_row_parts(self.rows, self.cols);
+        amud_par::par_row_blocks_mut(&mut out, 1, &parts, |_, rows, chunk| {
+            for (o, r) in chunk.iter_mut().zip(rows) {
+                *o = self
+                    .row(r)
                     .iter()
                     .enumerate()
                     .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits must not be NaN"))
                     .map(|(i, _)| i)
-                    .unwrap_or(0)
-            })
-            .collect()
+                    .unwrap_or(0);
+            }
+        });
+        out
     }
 
     /// Frobenius norm.
@@ -282,15 +447,14 @@ impl DenseMatrix {
     /// Row-wise L2 normalisation (zero rows stay zero).
     pub fn l2_normalize_rows(&self) -> DenseMatrix {
         let mut out = self.clone();
-        for r in 0..self.rows {
-            let row = out.row_mut(r);
+        out.par_rows_mut(|_, row| {
             let norm = row.iter().map(|&x| x * x).sum::<f32>().sqrt();
             if norm > 1e-12 {
                 for x in row {
                     *x /= norm;
                 }
             }
-        }
+        });
         out
     }
 }

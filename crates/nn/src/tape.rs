@@ -266,11 +266,12 @@ impl Tape {
         assert_eq!(bv.rows(), 1, "bias must be a single row");
         assert_eq!(bv.cols(), xv.cols(), "bias width must match x");
         let mut value = xv.clone();
-        for r in 0..value.rows() {
-            for (o, &b) in value.row_mut(r).iter_mut().zip(bv.row(0)) {
+        let bias_row = bv.row(0);
+        value.par_rows_mut(|_, row| {
+            for (o, &b) in row.iter_mut().zip(bias_row) {
                 *o += b;
             }
-        }
+        });
         let needs = self.needs(x) || self.needs(bias);
         self.push(value, Op::AddBias { x, bias }, needs)
     }
@@ -344,9 +345,7 @@ impl Tape {
         let xv = &self.nodes[x].value;
         assert_eq!(mask.len(), xv.rows() * xv.cols(), "dropout: mask length mismatch");
         let mut value = xv.clone();
-        for (o, &m) in value.as_mut_slice().iter_mut().zip(mask.iter()) {
-            *o *= m;
-        }
+        value.par_zip_assign(&mask, |o, m| *o *= m);
         let needs = self.needs(x);
         self.push(value, Op::Dropout { x, mask }, needs)
     }
@@ -370,9 +369,7 @@ impl Tape {
     pub fn row_softmax(&mut self, x: NodeId) -> NodeId {
         let xv = &self.nodes[x].value;
         let mut value = xv.clone();
-        for r in 0..value.rows() {
-            softmax_in_place(value.row_mut(r));
-        }
+        value.par_rows_mut(|_, row| softmax_in_place(row));
         let needs = self.needs(x);
         self.push(value, Op::RowSoftmax(x), needs)
     }
@@ -468,9 +465,7 @@ impl Tape {
         assert!(!mask.is_empty(), "cross-entropy mask must not be empty");
         assert_eq!(labels.len(), lv.rows(), "labels length must equal logits rows");
         let mut softmax = lv.clone();
-        for r in 0..softmax.rows() {
-            softmax_in_place(softmax.row_mut(r));
-        }
+        softmax.par_rows_mut(|_, row| softmax_in_place(row));
         let mut loss = 0.0f32;
         for &r in mask.iter() {
             let p = softmax.get(r, labels[r]).max(1e-12);
@@ -615,48 +610,40 @@ impl Tape {
             Op::Relu(x) => {
                 let x = *x;
                 let mut dx = grad.clone();
-                for (d, &v) in dx.as_mut_slice().iter_mut().zip(self.nodes[x].value.as_slice()) {
+                dx.par_zip_assign(self.nodes[x].value.as_slice(), |d, v| {
                     if v <= 0.0 {
                         *d = 0.0;
                     }
-                }
+                });
                 self.accumulate(x, dx);
             }
             Op::LeakyRelu(x, alpha) => {
                 let (x, alpha) = (*x, *alpha);
                 let mut dx = grad.clone();
-                for (d, &v) in dx.as_mut_slice().iter_mut().zip(self.nodes[x].value.as_slice()) {
+                dx.par_zip_assign(self.nodes[x].value.as_slice(), move |d, v| {
                     if v <= 0.0 {
                         *d *= alpha;
                     }
-                }
+                });
                 self.accumulate(x, dx);
             }
             Op::Sigmoid(x) => {
                 let x = *x;
-                let y = &self.nodes[id].value;
                 let mut dx = grad.clone();
-                for (d, &s) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                    *d *= s * (1.0 - s);
-                }
+                dx.par_zip_assign(self.nodes[id].value.as_slice(), |d, s| *d *= s * (1.0 - s));
                 self.accumulate(x, dx);
             }
             Op::Tanh(x) => {
                 let x = *x;
-                let y = &self.nodes[id].value;
                 let mut dx = grad.clone();
-                for (d, &t) in dx.as_mut_slice().iter_mut().zip(y.as_slice()) {
-                    *d *= 1.0 - t * t;
-                }
+                dx.par_zip_assign(self.nodes[id].value.as_slice(), |d, t| *d *= 1.0 - t * t);
                 self.accumulate(x, dx);
             }
             Op::Dropout { x, mask } => {
                 let x = *x;
                 let mask = Rc::clone(mask);
                 let mut dx = grad.clone();
-                for (d, &m) in dx.as_mut_slice().iter_mut().zip(mask.iter()) {
-                    *d *= m;
-                }
+                dx.par_zip_assign(&mask, |d, m| *d *= m);
                 self.accumulate(x, dx);
             }
             Op::ConcatCols(parts) => {
@@ -682,14 +669,14 @@ impl Tape {
                 let x = *x;
                 let y = &self.nodes[id].value;
                 let mut dx = DenseMatrix::zeros(y.rows(), y.cols());
-                for r in 0..y.rows() {
+                dx.par_rows_mut(|r, drow| {
                     let yr = y.row(r);
                     let gr = grad.row(r);
                     let dot: f32 = yr.iter().zip(gr).map(|(&s, &g)| s * g).sum();
-                    for ((d, &s), &g) in dx.row_mut(r).iter_mut().zip(yr).zip(gr) {
+                    for ((d, &s), &g) in drow.iter_mut().zip(yr).zip(gr) {
                         *d = s * (g - dot);
                     }
-                }
+                });
                 self.accumulate(x, dx);
             }
             Op::MeanAll(x) => {

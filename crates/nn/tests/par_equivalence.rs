@@ -1,0 +1,212 @@
+//! Bit-identity properties for the parallel dense kernels (DESIGN.md §9).
+//!
+//! The `amud-par` determinism contract says a kernel's output is a pure
+//! function of its inputs — never of the thread count. These properties
+//! run every dense hot path at `AMUD_THREADS ∈ {1, 2, 3, 8}` (via the
+//! in-process override) and compare outputs *bitwise*, so even a sign-of-
+//! zero or last-ulp difference fails. Shapes straddle the serial-fallback
+//! thresholds, include degenerate single-row/single-column cases, and go
+//! past `TRANSA_BLOCK_ROWS` to exercise the multi-block reduction.
+
+use amud_nn::{DenseMatrix, ParamBank, SparseOp, Tape};
+use proptest::prelude::*;
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::rc::Rc;
+
+const THREAD_COUNTS: [usize; 4] = [1, 2, 3, 8];
+
+/// Seeded pseudo-random matrix with a few exact zeros (the matmul kernels
+/// have a zero-skip fast path worth hitting) and negative values.
+fn seeded(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| {
+        if rng.gen_range(0.0f32..1.0) < 0.1 {
+            0.0
+        } else {
+            rng.gen_range(-2.0f32..2.0)
+        }
+    })
+}
+
+fn bits(m: &DenseMatrix) -> Vec<u32> {
+    m.as_slice().iter().map(|v| v.to_bits()).collect()
+}
+
+/// Runs `f` under every thread count and asserts all results are
+/// bit-identical to the single-threaded run.
+fn assert_thread_invariant(label: &str, f: impl Fn() -> DenseMatrix) -> Result<(), TestCaseError> {
+    let baseline = amud_par::with_threads(1, &f);
+    for &t in &THREAD_COUNTS[1..] {
+        let got = amud_par::with_threads(t, &f);
+        prop_assert_eq!(
+            bits(&baseline),
+            bits(&got),
+            "{} diverged between 1 and {} threads",
+            label,
+            t
+        );
+    }
+    Ok(())
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn matmul_is_thread_invariant(
+        dims in (1usize..48, 1usize..48, 1usize..40),
+        seed in 0u64..1_000_000,
+    ) {
+        let (m, k, n) = dims;
+        let a = seeded(m, k, seed);
+        let b = seeded(k, n, seed ^ 0x9e37);
+        assert_thread_invariant("matmul", || a.matmul(&b))?;
+    }
+
+    #[test]
+    fn matmul_transb_is_thread_invariant(
+        dims in (1usize..48, 1usize..48, 1usize..40),
+        seed in 0u64..1_000_000,
+    ) {
+        let (m, k, n) = dims;
+        let a = seeded(m, k, seed);
+        let b = seeded(n, k, seed ^ 0x85eb);
+        assert_thread_invariant("matmul_transb", || a.matmul_transb(&b))?;
+    }
+
+    #[test]
+    fn matmul_transa_is_thread_invariant(
+        dims in (1usize..64, 1usize..24, 1usize..24),
+        seed in 0u64..1_000_000,
+    ) {
+        let (k, m, n) = dims;
+        let a = seeded(k, m, seed);
+        let b = seeded(k, n, seed ^ 0xc2b2);
+        assert_thread_invariant("matmul_transa", || a.matmul_transa(&b))?;
+    }
+
+    #[test]
+    fn transpose_and_elementwise_are_thread_invariant(
+        dims in (1usize..96, 1usize..96),
+        seed in 0u64..1_000_000,
+    ) {
+        let (m, n) = dims;
+        let a = seeded(m, n, seed);
+        let b = seeded(m, n, seed ^ 0x27d4);
+        assert_thread_invariant("transpose", || a.transpose())?;
+        assert_thread_invariant("map", || a.map(|v| (v * 1.7).tanh()))?;
+        assert_thread_invariant("hadamard", || a.hadamard(&b))?;
+        assert_thread_invariant("add_scaled_assign", || {
+            let mut c = a.clone();
+            c.add_scaled_assign(&b, 0.3);
+            c
+        })?;
+        assert_thread_invariant("l2_normalize_rows", || a.l2_normalize_rows())?;
+    }
+
+    #[test]
+    fn argmax_rows_is_thread_invariant(
+        dims in (1usize..80, 1usize..24),
+        seed in 0u64..1_000_000,
+    ) {
+        let (m, n) = dims;
+        let a = seeded(m, n, seed);
+        let baseline = amud_par::with_threads(1, || a.argmax_rows());
+        for &t in &THREAD_COUNTS[1..] {
+            let got = amud_par::with_threads(t, || a.argmax_rows());
+            prop_assert_eq!(&baseline, &got, "argmax_rows diverged at {} threads", t);
+        }
+    }
+
+    #[test]
+    fn tape_forward_backward_is_thread_invariant(
+        dims in (2usize..40, 1usize..16, 1usize..12),
+        seed in 0u64..1_000_000,
+    ) {
+        let (n, f, h) = dims;
+        // End-to-end: a small model touching every parallelised tape op
+        // (spmm, matmul, bias, activations, dropout, softmax, masked CE)
+        // must produce bit-identical loss AND gradients at any thread count.
+        let x = seeded(n, f, seed);
+        let w1 = seeded(f, h, seed ^ 0x1111);
+        let w2 = seeded(h, 3, seed ^ 0x2222);
+        let bias = seeded(1, h, seed ^ 0x3333);
+        let op = SparseOp::new(
+            amud_graph::CsrMatrix::from_edges(
+                n,
+                n,
+                (0..n).map(|i| (i, (i * 7 + 1) % n)),
+            )
+            .expect("ring edges are in bounds"),
+        );
+        let mask_vals: Vec<f32> = {
+            let mut rng = StdRng::seed_from_u64(seed ^ 0x4444);
+            (0..n * h).map(|_| if rng.gen_range(0.0f32..1.0) < 0.3 { 0.0 } else { 2.0 }).collect()
+        };
+        let labels = Rc::new((0..n).map(|i| i % 3).collect::<Vec<_>>());
+        let train_mask = Rc::new((0..n).step_by(2).collect::<Vec<_>>());
+
+        let run = || {
+            let mut bank = ParamBank::new();
+            let p1 = bank.add(w1.clone());
+            let p2 = bank.add(w2.clone());
+            let pb = bank.add(bias.clone());
+            let mut tape = Tape::new();
+            let xn = tape.constant(x.clone());
+            let agg = tape.spmm(&op, xn);
+            let w1n = tape.param(&bank, p1);
+            let h1 = tape.matmul(agg, w1n);
+            let bn = tape.param(&bank, pb);
+            let h1b = tape.add_bias(h1, bn);
+            let act = tape.relu(h1b);
+            let drop = tape.dropout(act, Rc::new(mask_vals.clone()));
+            let sm = tape.row_softmax(drop);
+            let w2n = tape.param(&bank, p2);
+            let logits = tape.matmul(sm, w2n);
+            let loss =
+                tape.masked_cross_entropy(logits, Rc::clone(&labels), Rc::clone(&train_mask));
+            tape.backward(loss);
+            tape.apply_grads(&mut bank);
+            let mut flat = vec![tape.value(loss).get(0, 0)];
+            for pid in [p1, p2, pb] {
+                flat.extend_from_slice(bank.grad(pid).as_slice());
+            }
+            DenseMatrix::from_vec(1, flat.len(), flat)
+        };
+        assert_thread_invariant("tape forward+backward", run)?;
+    }
+}
+
+/// `TRANSA_BLOCK_ROWS` is 2048: a k-extent beyond it splits the gradient
+/// scatter into multiple fixed partial blocks. The fold order is block-
+/// ascending regardless of scheduling, so the result must still be
+/// bit-identical at every thread count.
+#[test]
+fn transa_multi_block_regime_is_thread_invariant() {
+    let k = 2500;
+    let a = seeded(k, 5, 77);
+    let b = seeded(k, 4, 78);
+    let baseline = amud_par::with_threads(1, || a.matmul_transa(&b));
+    for &t in &THREAD_COUNTS[1..] {
+        let got = amud_par::with_threads(t, || a.matmul_transa(&b));
+        assert_eq!(bits(&baseline), bits(&got), "multi-block transa diverged at {t} threads");
+    }
+}
+
+/// Shapes big enough to clear every serial-fallback threshold, so the
+/// parallel path (not the inline fallback) is what's being compared.
+#[test]
+fn above_threshold_shapes_are_thread_invariant() {
+    let a = seeded(160, 128, 99);
+    let b = seeded(128, 96, 100);
+    let big = seeded(128, 96, 101);
+    for &t in &THREAD_COUNTS[1..] {
+        let serial = amud_par::with_threads(1, || a.matmul(&b));
+        let parallel = amud_par::with_threads(t, || a.matmul(&b));
+        assert_eq!(bits(&serial), bits(&parallel), "matmul diverged at {t} threads");
+        let serial = amud_par::with_threads(1, || big.map(|v| v.exp().min(10.0)));
+        let parallel = amud_par::with_threads(t, || big.map(|v| v.exp().min(10.0)));
+        assert_eq!(bits(&serial), bits(&parallel), "map diverged at {t} threads");
+    }
+}

@@ -1,0 +1,137 @@
+//! Deterministic range partitioning.
+//!
+//! Both splitters are pure functions of `(shape, parts)` — never of thread
+//! scheduling — which is half of the runtime's determinism contract (the
+//! other half being exclusive ownership of each part's output).
+
+use std::ops::Range;
+
+/// Splits `0..n` into `parts` contiguous ranges whose lengths differ by at
+/// most one (the first `n % parts` ranges get the extra element). With
+/// `parts >= n` the tail ranges are empty; `parts` is clamped to at least 1.
+pub fn split_even(n: usize, parts: usize) -> Vec<Range<usize>> {
+    let parts = parts.max(1);
+    let base = n / parts;
+    let extra = n % parts;
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0;
+    for p in 0..parts {
+        let len = base + usize::from(p < extra);
+        out.push(start..start + len);
+        start += len;
+    }
+    out
+}
+
+/// Splits rows `0..n` into `parts` contiguous ranges of approximately
+/// equal *weight*, where `prefix` is a cumulative weight array of length
+/// `n + 1` with `prefix[0] == 0` (a CSR `row_ptr` is exactly this, making
+/// the partition nnz-balanced). Cut `p` is the first row whose cumulative
+/// weight reaches `p/parts` of the total, so heavily skewed rows push
+/// later cuts outward and empty rows cost nothing. Zero total weight
+/// degrades to [`split_even`].
+///
+/// # Panics
+/// Panics if `prefix` is empty, does not start at 0, or decreases.
+pub fn split_by_weight(prefix: &[usize], parts: usize) -> Vec<Range<usize>> {
+    assert!(!prefix.is_empty(), "split_by_weight: prefix must have length n + 1");
+    assert_eq!(prefix[0], 0, "split_by_weight: prefix must start at 0");
+    debug_assert!(prefix.windows(2).all(|w| w[0] <= w[1]), "split_by_weight: prefix must ascend");
+    let n = prefix.len() - 1;
+    let total = prefix[n];
+    let parts = parts.max(1);
+    if total == 0 {
+        return split_even(n, parts);
+    }
+    let mut out = Vec::with_capacity(parts);
+    let mut start = 0usize;
+    for p in 1..=parts {
+        let end = if p == parts {
+            n
+        } else {
+            // First row index whose cumulative weight reaches the target;
+            // clamped monotone so ranges never overlap or regress.
+            let target = (total as u128 * p as u128 / parts as u128) as usize;
+            prefix.partition_point(|&w| w < target).min(n).max(start)
+        };
+        out.push(start..end);
+        start = end;
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn covers(parts: &[Range<usize>], n: usize) {
+        let mut next = 0;
+        for r in parts {
+            assert_eq!(r.start, next, "ranges must tile without gaps");
+            assert!(r.end >= r.start);
+            next = r.end;
+        }
+        assert_eq!(next, n, "ranges must cover 0..n");
+    }
+
+    #[test]
+    fn split_even_tiles_and_balances() {
+        for n in [0, 1, 5, 97, 100] {
+            for parts in [1, 2, 3, 7, 128] {
+                let ranges = split_even(n, parts);
+                assert_eq!(ranges.len(), parts);
+                covers(&ranges, n);
+                let lens: Vec<usize> = ranges.iter().map(|r| r.len()).collect();
+                let (min, max) = (
+                    lens.iter().min().copied().unwrap_or(0),
+                    lens.iter().max().copied().unwrap_or(0),
+                );
+                assert!(max - min <= 1, "n={n} parts={parts}: lengths {lens:?}");
+            }
+        }
+    }
+
+    #[test]
+    fn split_by_weight_balances_skew() {
+        // One hub row with weight 1000, then 99 rows of weight 1.
+        let mut prefix = vec![0usize];
+        let mut acc = 0;
+        for r in 0..100 {
+            acc += if r == 0 { 1000 } else { 1 };
+            prefix.push(acc);
+        }
+        let parts = split_by_weight(&prefix, 4);
+        covers(&parts, 100);
+        // The hub row must sit alone-ish: the first range cannot also
+        // swallow most of the light rows.
+        assert!(parts[0].len() <= 2, "hub row must dominate its part: {parts:?}");
+    }
+
+    #[test]
+    fn split_by_weight_handles_empty_rows_and_zero_total() {
+        let prefix = [0usize, 0, 0, 0, 0];
+        let parts = split_by_weight(&prefix, 3);
+        covers(&parts, 4);
+
+        // Empty rows interleaved with weighted ones.
+        let prefix = [0usize, 0, 5, 5, 5, 10];
+        let parts = split_by_weight(&prefix, 2);
+        covers(&parts, 5);
+        assert_eq!(parts[0], 0..2, "first part ends once half the weight is reached");
+    }
+
+    #[test]
+    fn split_by_weight_more_parts_than_rows() {
+        let prefix = [0usize, 3, 4];
+        let parts = split_by_weight(&prefix, 8);
+        covers(&parts, 2);
+        assert_eq!(parts.len(), 8);
+    }
+
+    #[test]
+    fn splits_are_pure_functions() {
+        let prefix = [0usize, 2, 9, 9, 14, 20];
+        assert_eq!(split_by_weight(&prefix, 3), split_by_weight(&prefix, 3));
+        assert_eq!(split_even(17, 4), split_even(17, 4));
+    }
+}

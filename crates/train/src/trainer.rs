@@ -143,6 +143,9 @@ pub struct TrainResult {
     pub curve: Vec<TrainCurve>,
     /// Divergence recoveries performed during the run.
     pub recovery: RecoveryReport,
+    /// Kernel thread budget the run executed under (`AMUD_THREADS`).
+    /// Informational only: results are bit-identical at any value.
+    pub threads: usize,
 }
 
 /// Trains `model` on `data`, returning the test accuracy at the epoch of
@@ -337,7 +340,14 @@ fn train_inner(
         }
     }
 
-    Ok(TrainResult { best_val_acc: best_val, test_acc: test_at_best, epochs_run, curve, recovery })
+    Ok(TrainResult {
+        best_val_acc: best_val,
+        test_acc: test_at_best,
+        epochs_run,
+        curve,
+        recovery,
+        threads: amud_par::current_threads(),
+    })
 }
 
 /// One seed's failure inside a repeated run (the failure manifest entry).

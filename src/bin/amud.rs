@@ -119,8 +119,12 @@ fn finish(result: Result<amud_repro::train::TrainResult, TrainError>) {
                 );
             }
             println!(
-                "done in {} epochs — best val acc {:.3}, test acc {:.3}",
-                result.epochs_run, result.best_val_acc, result.test_acc
+                "done in {} epochs ({} kernel thread{}) — best val acc {:.3}, test acc {:.3}",
+                result.epochs_run,
+                result.threads,
+                if result.threads == 1 { "" } else { "s" },
+                result.best_val_acc,
+                result.test_acc
             );
         }
         Err(e) => die(&e.to_string(), e.exit_code()),
