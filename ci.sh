@@ -38,9 +38,23 @@ AMUD_THREADS=4 cargo test -q
 echo "==> cargo test -q --test fault_injection"
 cargo test -q --test fault_injection
 
+# Precompute-cache equivalence suite runs under both process-wide cache
+# defaults: the properties flip the cache per-closure via with_cache, but
+# the env default governs every path the suite does not pin explicitly.
+echo "==> precompute equivalence (AMUD_CACHE default)"
+cargo test -q -p amud-core --test precompute_equivalence
+
+echo "==> precompute equivalence (AMUD_CACHE=off)"
+AMUD_CACHE=off cargo test -q -p amud-core --test precompute_equivalence
+
 # Kernel benchmark smoke run: times serial vs parallel on CI-sized shapes
 # and fails if any kernel's outputs diverge bitwise between the budgets.
 echo "==> bench-kernels --smoke"
 cargo run --release -q -p amud-bench --bin bench-kernels -- --smoke --out /tmp/BENCH_kernels_smoke.json
+
+# Precompute-cache smoke run: cold vs warm sweeps must produce bit-identical
+# tables and the warm pass must clear the 5x spmm-reduction gate.
+echo "==> bench-precompute --smoke"
+cargo run --release -q -p amud-bench --bin bench-precompute -- --smoke --out /tmp/BENCH_precompute_smoke.json
 
 echo "ci: all green"

@@ -29,10 +29,10 @@ fn bench_propagation(c: &mut Criterion) {
     let mut group = c.benchmark_group("propagation");
     for k_steps in [1usize, 3] {
         group.bench_with_input(BenchmarkId::new("order1", k_steps), &k_steps, |b, &k| {
-            b.iter(|| PropagatedFeatures::compute(&order1, &x, k))
+            b.iter(|| PropagatedFeatures::compute(&order1, &x, k).unwrap())
         });
         group.bench_with_input(BenchmarkId::new("order2", k_steps), &k_steps, |b, &k| {
-            b.iter(|| PropagatedFeatures::compute(&order2, &x, k))
+            b.iter(|| PropagatedFeatures::compute(&order2, &x, k).unwrap())
         });
     }
     group.finish();
@@ -45,7 +45,7 @@ fn bench_feature_width(c: &mut Criterion) {
     for f in [16usize, 64, 256] {
         let x = DenseMatrix::xavier_uniform(2000, f, &mut rng);
         group.bench_with_input(BenchmarkId::from_parameter(f), &f, |b, _| {
-            b.iter(|| PropagatedFeatures::compute(&order2, &x, 2))
+            b.iter(|| PropagatedFeatures::compute(&order2, &x, 2).unwrap())
         });
     }
     group.finish();

@@ -10,17 +10,17 @@ use amud_train::{repeat_runs, GraphData, TrainConfig};
 
 fn run_k(name: &str, data: &GraphData, k: usize, cfg: TrainConfig, repeats: usize) -> f64 {
     match name {
-        "SGC" => repeat_runs(|s| Sgc::new(data, k, s), data, cfg, repeats, 0).summary.mean,
+        "SGC" => repeat_runs(|s| Ok(Sgc::new(data, k, s)), data, cfg, repeats, 0).summary.mean,
         "GPRGNN" => {
-            repeat_runs(|s| GprGnn::new(data, 64, k, 0.1, 0.4, s), data, cfg, repeats, 0)
+            repeat_runs(|s| Ok(GprGnn::new(data, 64, k, 0.1, 0.4, s)), data, cfg, repeats, 0)
                 .summary
                 .mean
         }
         "NSTE" => {
-            repeat_runs(|s| Nste::new(data, 64, k, 0.4, s), data, cfg, repeats, 0).summary.mean
+            repeat_runs(|s| Ok(Nste::new(data, 64, k, 0.4, s)), data, cfg, repeats, 0).summary.mean
         }
         "DIMPA" => {
-            repeat_runs(|s| Dimpa::new(data, 64, k, 0.4, s), data, cfg, repeats, 0).summary.mean
+            repeat_runs(|s| Ok(Dimpa::new(data, 64, k, 0.4, s)), data, cfg, repeats, 0).summary.mean
         }
         "ADPA" => {
             let adpa_cfg = AdpaConfig { k_steps: k, ..Default::default() };

@@ -13,6 +13,7 @@ use amud_datasets::replica;
 use amud_train::{grid_search, train, HyperGrid, TrainConfig};
 
 fn main() {
+    let cache_before = amud_cache::stats();
     let dataset = std::env::args().nth(1).unwrap_or_else(|| "chameleon".to_string());
     let d = replica(&dataset, env_scale(), 42);
     let data = to_graph_data(&d);
@@ -44,7 +45,7 @@ fn main() {
             conv_r: p.conv_r,
             ..Default::default()
         };
-        let mut model = Adpa::new(&prepared, cfg, 0);
+        let mut model = Adpa::new(&prepared, cfg, 0)?;
         train(&mut model, &prepared, p.train_config(base), 0).map(|r| r.best_val_acc)
     })
     .unwrap_or_else(|e| {
@@ -83,7 +84,10 @@ fn main() {
         conv_r: best.conv_r,
         ..Default::default()
     };
-    let mut model = Adpa::new(&prepared, cfg, 0);
+    let mut model = Adpa::new(&prepared, cfg, 0).unwrap_or_else(|e| {
+        eprintln!("error: {e}");
+        std::process::exit(e.exit_code())
+    });
     let result = train(
         &mut model,
         &prepared,
@@ -95,4 +99,5 @@ fn main() {
         std::process::exit(e.exit_code())
     });
     println!("\nbest config test accuracy: {:.3}", result.test_acc);
+    println!("precompute cache: {}", amud_cache::stats().delta(&cache_before));
 }

@@ -17,6 +17,7 @@
 //! | `fig6`   | Fig. 6 — propagation-step sweep |
 //! | `fig7`   | Fig. 7 — sparsity robustness |
 //! | `bench-kernels` | serial vs parallel kernel timings → `BENCH_kernels.json` |
+//! | `bench-precompute` | uncached/cold/warm sweep cost → `BENCH_precompute.json` |
 //!
 //! Shared environment knobs (all optional):
 //!
@@ -24,7 +25,9 @@
 //! * `AMUD_REPEATS` — seeded repeats per cell (default 3);
 //! * `AMUD_EPOCHS` — training epochs (default 150);
 //! * `AMUD_THREADS` — kernel thread budget (default = available cores;
-//!   results are bit-identical at any value).
+//!   results are bit-identical at any value);
+//! * `AMUD_CACHE` — `off` disables the ADPA precompute cache (results
+//!   are bit-identical either way; only wall-clock changes).
 
 use amud_core::{Adpa, AdpaConfig};
 use amud_datasets::{replica, Dataset, ReplicaScale};
@@ -158,7 +161,7 @@ pub fn run_on(
     if verify_tape_requested() {
         report_verification(name, &Shim(build_model(name, input, seed)), input);
     }
-    repeat_runs(|s| Shim(build_model(name, input, s)), input, cfg, repeats, seed).summary
+    repeat_runs(|s| Ok(Shim(build_model(name, input, s))), input, cfg, repeats, seed).summary
 }
 
 /// Trains ADPA on exactly the given input.
@@ -170,7 +173,13 @@ pub fn run_adpa(
     seed: u64,
 ) -> Summary {
     if verify_tape_requested() {
-        report_verification("ADPA", &Adpa::new(input, adpa_cfg, seed), input);
+        match Adpa::new(input, adpa_cfg, seed) {
+            Ok(model) => report_verification("ADPA", &model, input),
+            Err(e) => {
+                eprintln!("error: ADPA construction failed during --verify-tape: {e}");
+                std::process::exit(e.exit_code());
+            }
+        }
     }
     repeat_runs(|s| Adpa::new(input, adpa_cfg, s), input, cfg, repeats, seed).summary
 }
@@ -271,7 +280,7 @@ pub fn train_curve_for(
     use amud_train::train_with_curve;
     if name == "ADPA" {
         let (prepared, _, _) = amud_core::paradigm::prepare_topology(data);
-        let mut model = Adpa::new(&prepared, AdpaConfig::default(), seed);
+        let mut model = Adpa::new(&prepared, AdpaConfig::default(), seed)?;
         train_with_curve(&mut model, &prepared, cfg, seed)
     } else {
         let input = if is_directed_model(name) { data.clone() } else { data.to_undirected() };

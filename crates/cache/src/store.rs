@@ -1,0 +1,138 @@
+//! A small shared LRU map for cached artifacts.
+//!
+//! The precompute stores hold whole operator sets and K-step feature
+//! tensors — tens of megabytes each at dataset scale — so an unbounded map
+//! would let a long benchmark table pin every graph it ever touched.
+//! [`SharedStore`] bounds each store to a fixed number of entries and
+//! evicts the least-recently-used one; the cap is chosen per store by
+//! `amud_core::precompute` (a table run revisits a handful of graphs, not
+//! hundreds).
+//!
+//! Values are handed out as owned clones; callers store `Arc<T>` so a
+//! "clone" is a reference-count bump and an evicted entry stays alive for
+//! whoever still holds it.
+
+use std::collections::HashMap;
+use std::hash::Hash;
+use std::sync::Mutex;
+
+struct Slot<V> {
+    value: V,
+    stamp: u64,
+}
+
+struct Inner<K, V> {
+    map: HashMap<K, Slot<V>>,
+    clock: u64,
+}
+
+/// Mutex-guarded LRU map with a fixed entry cap.
+///
+/// `get` refreshes recency; `insert` evicts the stalest entry when the
+/// store is full. Lock poisoning is tolerated (the inner state is a plain
+/// map — a panicking reader cannot leave it torn), so one panicked test
+/// thread does not wedge the cache for the rest of the process.
+pub struct SharedStore<K, V> {
+    inner: Mutex<Inner<K, V>>,
+    capacity: usize,
+}
+
+impl<K: Eq + Hash + Clone, V: Clone> SharedStore<K, V> {
+    /// Empty store holding at most `capacity` entries (`capacity ≥ 1`).
+    pub fn new(capacity: usize) -> Self {
+        SharedStore { inner: Mutex::new(Inner { map: HashMap::new(), clock: 0 }), capacity }
+    }
+
+    fn lock(&self) -> std::sync::MutexGuard<'_, Inner<K, V>> {
+        self.inner.lock().unwrap_or_else(|poisoned| poisoned.into_inner())
+    }
+
+    /// Clone of the cached value for `key`, refreshing its recency.
+    pub fn get(&self, key: &K) -> Option<V> {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let clock = inner.clock;
+        inner.map.get_mut(key).map(|slot| {
+            slot.stamp = clock;
+            slot.value.clone()
+        })
+    }
+
+    /// Inserts (or replaces) `key → value`, evicting the least-recently
+    /// used entry if the store is at capacity.
+    pub fn insert(&self, key: K, value: V) {
+        let mut inner = self.lock();
+        inner.clock += 1;
+        let stamp = inner.clock;
+        if !inner.map.contains_key(&key) && inner.map.len() >= self.capacity {
+            if let Some(stalest) =
+                inner.map.iter().min_by_key(|(_, slot)| slot.stamp).map(|(k, _)| k.clone())
+            {
+                inner.map.remove(&stalest);
+            }
+        }
+        inner.map.insert(key, Slot { value, stamp });
+    }
+
+    /// Drops every entry (the `clear()` used by cold-start benchmarking).
+    pub fn clear(&self) {
+        self.lock().map.clear();
+    }
+
+    /// Number of live entries.
+    pub fn len(&self) -> usize {
+        self.lock().map.len()
+    }
+
+    /// Whether the store holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.len() == 0
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn get_after_insert_round_trips() {
+        let store: SharedStore<u32, String> = SharedStore::new(4);
+        assert!(store.get(&1).is_none());
+        store.insert(1, "one".into());
+        assert_eq!(store.get(&1).as_deref(), Some("one"));
+        assert_eq!(store.len(), 1);
+    }
+
+    #[test]
+    fn evicts_least_recently_used() {
+        let store: SharedStore<u32, u32> = SharedStore::new(2);
+        store.insert(1, 10);
+        store.insert(2, 20);
+        store.get(&1); // refresh 1 → 2 becomes stalest
+        store.insert(3, 30);
+        assert_eq!(store.get(&1), Some(10));
+        assert_eq!(store.get(&2), None);
+        assert_eq!(store.get(&3), Some(30));
+        assert_eq!(store.len(), 2);
+    }
+
+    #[test]
+    fn replacing_a_key_does_not_evict() {
+        let store: SharedStore<u32, u32> = SharedStore::new(2);
+        store.insert(1, 10);
+        store.insert(2, 20);
+        store.insert(1, 11);
+        assert_eq!(store.len(), 2);
+        assert_eq!(store.get(&1), Some(11));
+        assert_eq!(store.get(&2), Some(20));
+    }
+
+    #[test]
+    fn clear_empties_the_store() {
+        let store: SharedStore<u32, u32> = SharedStore::new(2);
+        store.insert(1, 10);
+        store.clear();
+        assert!(store.is_empty());
+        assert_eq!(store.get(&1), None);
+    }
+}

@@ -30,7 +30,7 @@ use amud_graph::PatternSet;
 use amud_nn::{
     linear::dropout_mask, Activation, DenseMatrix, Linear, Mlp, NodeId, ParamBank, ParamId, Tape,
 };
-use amud_train::{GraphData, Model};
+use amud_train::{GraphData, Model, TrainError};
 use rand::rngs::StdRng;
 use rand::SeedableRng;
 
@@ -115,16 +115,25 @@ impl Adpa {
     /// Builds ADPA for a graph: materialises the DP operators, optionally
     /// selects them by training-label correlation, runs Eq. 9, and
     /// initialises all parameters.
-    pub fn new(data: &GraphData, cfg: AdpaConfig, seed: u64) -> Self {
-        assert!(cfg.max_order >= 1, "need at least order-1 patterns");
-        assert!(cfg.classifier_layers >= 1, "classifier needs at least one layer");
+    ///
+    /// Operator construction and propagation go through the
+    /// [`crate::precompute`] store, so repeated constructions over the same
+    /// graph — every seed of a sweep, every `k_steps`/`conv_r` grid point —
+    /// reuse one materialisation and one propagation (bit-identically;
+    /// `AMUD_CACHE=off` disables the reuse without changing any output).
+    /// A malformed configuration or operator/feature mismatch is a typed
+    /// [`TrainError`], so one bad hyperpoint degrades to a recorded failure
+    /// instead of aborting a sweep.
+    pub fn new(data: &GraphData, cfg: AdpaConfig, seed: u64) -> Result<Self, TrainError> {
+        if cfg.max_order < 1 {
+            return Err(TrainError::bad_input("need at least order-1 patterns"));
+        }
+        if cfg.classifier_layers < 1 {
+            return Err(TrainError::bad_input("classifier needs at least one layer"));
+        }
         let mut rng = StdRng::seed_from_u64(seed);
-        let mut patterns = PatternSet::build_normalized(
-            &data.adj,
-            amud_graph::patterns::DirectedPattern::enumerate_up_to(cfg.max_order),
-            cfg.conv_r,
-        )
-        .expect("adjacency is square");
+        let (full, mut key) = crate::precompute::operators(&data.adj, cfg.max_order, cfg.conv_r)?;
+        let mut patterns: PatternSet = (*full).clone();
         // On symmetric inputs (Paradigm I) the pattern family collapses —
         // A = Aᵀ makes all same-order operators identical. Keep one
         // representative per distinct sparsity pattern so the DP attention
@@ -139,6 +148,7 @@ impl Adpa {
             }
             if keep.len() < patterns.len() {
                 patterns = patterns.select(&keep);
+                key = key.with_selection(&keep);
             }
         }
         if let Some(r) = cfg.dp_select {
@@ -151,9 +161,11 @@ impl Adpa {
             let keep: Vec<usize> =
                 ranked.iter().take(r.max(1).min(patterns.len())).map(|&(i, _)| i).collect();
             patterns = patterns.select(&keep);
+            key = key.with_selection(&keep);
         }
         let pattern_names = patterns.patterns().iter().map(|p| p.name()).collect();
-        let propagated = PropagatedFeatures::compute(&patterns, &data.features, cfg.k_steps);
+        let propagated =
+            crate::precompute::propagated(&key, &patterns, &data.features, cfg.k_steps)?;
 
         let n = data.n_nodes();
         let f = data.n_features();
@@ -183,7 +195,7 @@ impl Adpa {
         dims.push(data.n_classes);
         let classifier = Mlp::new(&mut bank, &dims, Activation::Relu, cfg.dropout, &mut rng);
 
-        Self {
+        Ok(Self {
             bank,
             cfg,
             propagated,
@@ -193,7 +205,7 @@ impl Adpa {
             fuse,
             hop_scorer,
             classifier,
-        }
+        })
     }
 
     /// The DP operator names in use (after selection), e.g. `["A", "Aᵀ",
@@ -346,9 +358,9 @@ mod tests {
     #[test]
     fn adpa_operator_count_matches_paper() {
         let d = data("cora_ml", 0);
-        let adpa = Adpa::new(&d, AdpaConfig { max_order: 2, ..Default::default() }, 0);
+        let adpa = Adpa::new(&d, AdpaConfig { max_order: 2, ..Default::default() }, 0).unwrap();
         assert_eq!(adpa.pattern_names().len(), 6, "order 2 → k = 6");
-        let adpa1 = Adpa::new(&d, AdpaConfig { max_order: 1, ..Default::default() }, 0);
+        let adpa1 = Adpa::new(&d, AdpaConfig { max_order: 1, ..Default::default() }, 0).unwrap();
         assert_eq!(adpa1.pattern_names().len(), 2, "order 1 → k = 2");
     }
 
@@ -357,14 +369,14 @@ mod tests {
         // On a symmetric adjacency A = Aᵀ: the six order-≤2 operators
         // reduce to two distinct ones ({A} and {A·A}).
         let d = data("cora_ml", 0).to_undirected();
-        let adpa = Adpa::new(&d, AdpaConfig { max_order: 2, ..Default::default() }, 0);
+        let adpa = Adpa::new(&d, AdpaConfig { max_order: 2, ..Default::default() }, 0).unwrap();
         assert_eq!(adpa.pattern_names().len(), 2, "{:?}", adpa.pattern_names());
     }
 
     #[test]
     fn adpa_beats_chance_on_homophilous_replica() {
         let d = data("cora_ml", 1);
-        let mut model = Adpa::new(&d, AdpaConfig::default(), 1);
+        let mut model = Adpa::new(&d, AdpaConfig::default(), 1).unwrap();
         let result = train(&mut model, &d, quick_cfg(), 1).unwrap();
         // 7 classes → chance ≈ 14%.
         assert!(result.test_acc > 0.4, "test accuracy {}", result.test_acc);
@@ -373,7 +385,7 @@ mod tests {
     #[test]
     fn adpa_beats_chance_on_heterophilous_directed_replica() {
         let d = data("chameleon", 2);
-        let mut model = Adpa::new(&d, AdpaConfig::default(), 2);
+        let mut model = Adpa::new(&d, AdpaConfig::default(), 2).unwrap();
         let result = train(&mut model, &d, quick_cfg(), 2).unwrap();
         // 5 classes → chance 20%; weak features mean the directed topology
         // must be exploited to clear it.
@@ -391,7 +403,7 @@ mod tests {
             DpAttention::None,
         ] {
             let cfg = AdpaConfig { dp_attention: variant, k_steps: 2, ..Default::default() };
-            let mut model = Adpa::new(&d, cfg, 3);
+            let mut model = Adpa::new(&d, cfg, 3).unwrap();
             let result = train(&mut model, &d, quick_cfg(), 3).unwrap();
             assert!(result.test_acc > 0.2, "{variant:?} accuracy {}", result.test_acc);
         }
@@ -401,7 +413,7 @@ mod tests {
     fn hop_attention_off_still_trains() {
         let d = data("texas", 4);
         let cfg = AdpaConfig { hop_attention: false, ..Default::default() };
-        let mut model = Adpa::new(&d, cfg, 4);
+        let mut model = Adpa::new(&d, cfg, 4).unwrap();
         let result = train(&mut model, &d, quick_cfg(), 4).unwrap();
         assert!(result.test_acc > 0.2);
     }
@@ -409,8 +421,8 @@ mod tests {
     #[test]
     fn conv_coefficient_changes_propagation() {
         let d = data("chameleon", 8);
-        let row = Adpa::new(&d, AdpaConfig { conv_r: 0.0, ..Default::default() }, 8);
-        let sym = Adpa::new(&d, AdpaConfig { conv_r: 0.5, ..Default::default() }, 8);
+        let row = Adpa::new(&d, AdpaConfig { conv_r: 0.0, ..Default::default() }, 8).unwrap();
+        let sym = Adpa::new(&d, AdpaConfig { conv_r: 0.5, ..Default::default() }, 8).unwrap();
         // Same architecture, different propagation — both train fine.
         let mut rng = StdRng::seed_from_u64(0);
         let mut t1 = Tape::new();
@@ -424,14 +436,14 @@ mod tests {
     fn dp_selection_reduces_operator_set() {
         let d = data("chameleon", 5);
         let cfg = AdpaConfig { dp_select: Some(3), ..Default::default() };
-        let model = Adpa::new(&d, cfg, 5);
+        let model = Adpa::new(&d, cfg, 5).unwrap();
         assert_eq!(model.pattern_names().len(), 3);
     }
 
     #[test]
     fn eval_forward_is_deterministic() {
         let d = data("citeseer", 6);
-        let model = Adpa::new(&d, AdpaConfig::default(), 6);
+        let model = Adpa::new(&d, AdpaConfig::default(), 6).unwrap();
         let mut rng = StdRng::seed_from_u64(0);
         let run = |rng: &mut StdRng| {
             let mut tape = Tape::new();
@@ -444,8 +456,12 @@ mod tests {
     #[test]
     fn parameter_count_grows_with_order() {
         let d = data("texas", 7);
-        let p1 = Adpa::new(&d, AdpaConfig { max_order: 1, ..Default::default() }, 7).n_parameters();
-        let p2 = Adpa::new(&d, AdpaConfig { max_order: 2, ..Default::default() }, 7).n_parameters();
+        let p1 = Adpa::new(&d, AdpaConfig { max_order: 1, ..Default::default() }, 7)
+            .unwrap()
+            .n_parameters();
+        let p2 = Adpa::new(&d, AdpaConfig { max_order: 2, ..Default::default() }, 7)
+            .unwrap()
+            .n_parameters();
         assert!(p2 > p1, "order-2 ADPA must have more parameters ({p1} vs {p2})");
     }
 }

@@ -36,6 +36,8 @@ pub mod adpa;
 pub mod amud;
 /// Paradigm selection: AMUD decision → undirected/directed pipeline.
 pub mod paradigm;
+/// Content-addressed precompute cache for operators and propagation.
+pub mod precompute;
 /// k-order directed-pattern propagation operators (Eq. 7–9).
 pub mod propagation;
 

@@ -11,43 +11,105 @@
 //! The whole tensor `{X_g^(l)}` plus the initial residual `X^(0)` is
 //! computed once per graph (`O(k·K·m·f)`) and cached; training then only
 //! touches dense matrices.
+//!
+//! Step matrices are stored behind [`Arc`], so a clone of the tensor — or
+//! a [`PropagatedFeatures::prefix`] view at a smaller k — is a handful of
+//! reference-count bumps, never a copy of `n×f` float data. That is what
+//! lets the [`crate::precompute`] store share one propagation across every
+//! seed of a sweep, and serve a `k_steps = 3` request from a cached
+//! `K = 5` tensor for free. [`PropagatedFeatures::extend_to`] resumes the
+//! recurrence from the last stored step, so growing a cached `K = 2` to
+//! `K = 5` costs exactly the three missing steps; because step `l` depends
+//! only on step `l-1`, the extended tensor is bit-identical to a direct
+//! `compute(·, ·, 5)`.
 
 use amud_graph::PatternSet;
 use amud_nn::DenseMatrix;
+use amud_train::TrainError;
+use std::sync::Arc;
 
 /// The cached result of Eq. 9.
 #[derive(Debug, Clone)]
 pub struct PropagatedFeatures {
     /// `X^(0)` — the initial residual.
-    x0: DenseMatrix,
+    x0: Arc<DenseMatrix>,
     /// `steps[l-1][g]` = `X_{G_g}^{(l)}` for `l = 1..=K`.
-    steps: Vec<Vec<DenseMatrix>>,
+    steps: Vec<Vec<Arc<DenseMatrix>>>,
 }
 
 impl PropagatedFeatures {
-    /// Runs the propagation for every operator in the set over `k_steps`.
-    ///
-    /// # Panics
-    /// Panics if `k_steps == 0` or the operator/feature shapes disagree.
-    pub fn compute(patterns: &PatternSet, x: &DenseMatrix, k_steps: usize) -> Self {
-        assert!(k_steps >= 1, "propagation needs at least one step");
-        let n = x.rows();
-        let f = x.cols();
-        let mut steps: Vec<Vec<DenseMatrix>> = Vec::with_capacity(k_steps);
-        // Current state per operator, advanced in lockstep.
-        let mut current: Vec<DenseMatrix> = vec![x.clone(); patterns.len()];
-        for _ in 0..k_steps {
+    /// Runs the propagation for every operator in the set over `k_steps`,
+    /// or reports a typed [`TrainError::BadInput`] when `k_steps == 0` or
+    /// the operator/feature shapes disagree (a malformed operator must
+    /// land in a sweep's failure manifest, not abort the process).
+    pub fn compute(
+        patterns: &PatternSet,
+        x: &DenseMatrix,
+        k_steps: usize,
+    ) -> Result<Self, TrainError> {
+        if k_steps == 0 {
+            return Err(TrainError::bad_input("propagation needs at least one step"));
+        }
+        let mut out = Self { x0: Arc::new(x.clone()), steps: Vec::with_capacity(k_steps) };
+        out.extend_to(patterns, k_steps)?;
+        Ok(out)
+    }
+
+    /// Extends the tensor in place to `k_steps` steps by resuming the
+    /// Eq. 9 recurrence from the last stored step (no-op when already at
+    /// or beyond `k_steps`). `patterns` must be the operator set the
+    /// existing steps were propagated with — checked structurally (same
+    /// operator count and shapes); the precompute store guarantees it
+    /// semantically by keying features on the operator-set key.
+    pub fn extend_to(&mut self, patterns: &PatternSet, k_steps: usize) -> Result<(), TrainError> {
+        let n = self.x0.rows();
+        let f = self.x0.cols();
+        if !self.steps.is_empty() && self.n_patterns() != patterns.len() {
+            return Err(TrainError::bad_input(format!(
+                "operator count changed between propagation steps: tensor has {}, set has {}",
+                self.n_patterns(),
+                patterns.len()
+            )));
+        }
+        for prop in patterns.propagators() {
+            if prop.n_rows() != n || prop.n_cols() != n {
+                return Err(TrainError::bad_input(format!(
+                    "operator shape mismatch: propagator is {}x{}, features have {n} rows",
+                    prop.n_rows(),
+                    prop.n_cols()
+                )));
+            }
+        }
+        for l in self.steps.len()..k_steps {
             let mut this_step = Vec::with_capacity(patterns.len());
             for (g, prop) in patterns.propagators().iter().enumerate() {
-                assert_eq!(prop.n_cols(), n, "operator shape mismatch");
+                let prev: &DenseMatrix = if l == 0 { &self.x0 } else { &self.steps[l - 1][g] };
+                // Each step matrix is allocated and written exactly once —
+                // spmm writes straight into its final home.
                 let mut next = DenseMatrix::zeros(n, f);
-                prop.spmm(current[g].as_slice(), f, next.as_mut_slice());
-                current[g] = next.clone();
-                this_step.push(next);
+                prop.spmm(prev.as_slice(), f, next.as_mut_slice());
+                this_step.push(Arc::new(next));
             }
-            steps.push(this_step);
+            self.steps.push(this_step);
         }
-        Self { x0: x.clone(), steps }
+        Ok(())
+    }
+
+    /// A view of the first `k_steps` steps — reference-count bumps only,
+    /// no float data is copied. This is how one cached `K = 5` tensor
+    /// serves every request with `k ≤ 5`. Errors when `k_steps == 0` or
+    /// exceeds the stored depth.
+    pub fn prefix(&self, k_steps: usize) -> Result<Self, TrainError> {
+        if k_steps == 0 {
+            return Err(TrainError::bad_input("propagation needs at least one step"));
+        }
+        if k_steps > self.steps.len() {
+            return Err(TrainError::bad_input(format!(
+                "prefix of {k_steps} steps requested from a {}-step tensor",
+                self.steps.len()
+            )));
+        }
+        Ok(Self { x0: Arc::clone(&self.x0), steps: self.steps[..k_steps].to_vec() })
     }
 
     /// Number of propagation steps `K`.
@@ -75,12 +137,13 @@ impl PropagatedFeatures {
     /// …, X_{G_k}^{(l)}]` — the concatenation layout of Eq. 9/10.
     pub fn step_with_residual(&self, l: usize) -> Vec<&DenseMatrix> {
         let mut out = Vec::with_capacity(self.n_patterns() + 1);
-        out.push(&self.x0);
-        out.extend(self.steps[l - 1].iter());
+        out.push(self.x0.as_ref());
+        out.extend(self.steps[l - 1].iter().map(Arc::as_ref));
         out
     }
 
-    /// Memory footprint in floats (diagnostics).
+    /// Memory footprint in floats (diagnostics). Counts logical floats;
+    /// `Arc` sharing means several tensors can reference the same buffers.
     pub fn n_floats(&self) -> usize {
         let per = self.x0.rows() * self.x0.cols();
         per * (1 + self.n_patterns() * self.k_steps())
@@ -102,7 +165,7 @@ mod tests {
     fn one_step_is_one_spmm() {
         let ps = cycle_patterns();
         let x = DenseMatrix::from_fn(4, 2, |r, _| r as f32);
-        let pf = PropagatedFeatures::compute(&ps, &x, 1);
+        let pf = PropagatedFeatures::compute(&ps, &x, 1).unwrap();
         assert_eq!(pf.k_steps(), 1);
         assert_eq!(pf.n_patterns(), 2);
         // Operator 0 is row-normalised A: node v takes its out-neighbour's
@@ -120,7 +183,7 @@ mod tests {
     fn k_steps_compose() {
         let ps = cycle_patterns();
         let x = DenseMatrix::from_fn(4, 1, |r, _| r as f32);
-        let pf = PropagatedFeatures::compute(&ps, &x, 4);
+        let pf = PropagatedFeatures::compute(&ps, &x, 4).unwrap();
         // Four steps around a 4-cycle returns to the start.
         for v in 0..4 {
             assert_eq!(pf.step(4, 0).get(v, 0), x.get(v, 0));
@@ -139,7 +202,7 @@ mod tests {
         .unwrap();
         let ps = PatternSet::up_to_order(&a, 2).unwrap();
         let x = DenseMatrix::ones(5, 3);
-        let pf = PropagatedFeatures::compute(&ps, &x, 3);
+        let pf = PropagatedFeatures::compute(&ps, &x, 3).unwrap();
         for l in 1..=3 {
             for g in 0..ps.len() {
                 for v in 0..5 {
@@ -157,7 +220,7 @@ mod tests {
     fn residual_is_original_features() {
         let ps = cycle_patterns();
         let x = DenseMatrix::from_fn(4, 2, |r, c| (r + c) as f32);
-        let pf = PropagatedFeatures::compute(&ps, &x, 2);
+        let pf = PropagatedFeatures::compute(&ps, &x, 2).unwrap();
         assert_eq!(pf.x0(), &x);
         let with_res = pf.step_with_residual(1);
         assert_eq!(with_res.len(), 3);
@@ -168,16 +231,64 @@ mod tests {
     fn n_floats_accounts_for_everything() {
         let ps = cycle_patterns();
         let x = DenseMatrix::zeros(4, 3);
-        let pf = PropagatedFeatures::compute(&ps, &x, 2);
+        let pf = PropagatedFeatures::compute(&ps, &x, 2).unwrap();
         // (1 residual + 2 ops × 2 steps) × 12 floats
         assert_eq!(pf.n_floats(), 5 * 12);
     }
 
     #[test]
-    #[should_panic(expected = "at least one step")]
-    fn zero_steps_panics() {
+    fn zero_steps_is_a_typed_error() {
         let ps = cycle_patterns();
         let x = DenseMatrix::zeros(4, 1);
-        let _ = PropagatedFeatures::compute(&ps, &x, 0);
+        let err = PropagatedFeatures::compute(&ps, &x, 0).unwrap_err();
+        assert!(matches!(err, TrainError::BadInput { .. }), "{err:?}");
+    }
+
+    #[test]
+    fn shape_mismatch_is_a_typed_error() {
+        let ps = cycle_patterns(); // 4-node operators
+        let x = DenseMatrix::zeros(5, 2); // 5-row features
+        let err = PropagatedFeatures::compute(&ps, &x, 1).unwrap_err();
+        assert!(
+            matches!(&err, TrainError::BadInput { reason } if reason.contains("shape mismatch")),
+            "{err:?}"
+        );
+    }
+
+    #[test]
+    fn prefix_is_bitwise_equal_to_direct_compute() {
+        let ps = cycle_patterns();
+        let x = DenseMatrix::from_fn(4, 3, |r, c| (r * 3 + c) as f32 * 0.37);
+        let full = PropagatedFeatures::compute(&ps, &x, 5).unwrap();
+        for k in 1..=5 {
+            let direct = PropagatedFeatures::compute(&ps, &x, k).unwrap();
+            let view = full.prefix(k).unwrap();
+            assert_eq!(view.k_steps(), k);
+            for l in 1..=k {
+                for g in 0..ps.len() {
+                    assert_eq!(view.step(l, g), direct.step(l, g));
+                }
+            }
+        }
+        assert!(full.prefix(0).is_err());
+        assert!(full.prefix(6).is_err());
+    }
+
+    #[test]
+    fn extension_is_bitwise_equal_to_direct_compute() {
+        let ps = cycle_patterns();
+        let x = DenseMatrix::from_fn(4, 2, |r, c| 1.0 / (1.0 + (r + c) as f32));
+        let mut grown = PropagatedFeatures::compute(&ps, &x, 2).unwrap();
+        grown.extend_to(&ps, 5).unwrap();
+        let direct = PropagatedFeatures::compute(&ps, &x, 5).unwrap();
+        assert_eq!(grown.k_steps(), 5);
+        for l in 1..=5 {
+            for g in 0..ps.len() {
+                assert_eq!(grown.step(l, g).as_slice(), direct.step(l, g).as_slice());
+            }
+        }
+        // Shrinking is a no-op, not a truncation.
+        grown.extend_to(&ps, 1).unwrap();
+        assert_eq!(grown.k_steps(), 5);
     }
 }

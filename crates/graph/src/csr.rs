@@ -16,6 +16,21 @@
 //! * All column indices are `< n_cols`.
 
 use crate::{GraphError, Result};
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Process-wide count of [`CsrMatrix::spmm`] invocations.
+///
+/// Monotonic by design: the precompute benchmarks attribute spmm work to a
+/// sweep by snapshotting before and after and subtracting, which stays
+/// correct under concurrency where a reset would race.
+static SPMM_CALLS: AtomicU64 = AtomicU64::new(0);
+
+/// Cumulative number of `spmm` invocations since process start. Snapshot
+/// before and after a region and subtract to count its sparse products —
+/// the measured (not estimated) evidence behind `BENCH_precompute.json`.
+pub fn spmm_calls() -> u64 {
+    SPMM_CALLS.load(Ordering::Relaxed)
+}
 
 /// A sparse matrix in compressed-sparse-row format with `f32` values.
 #[derive(Debug, Clone, PartialEq)]
@@ -206,6 +221,7 @@ impl CsrMatrix {
             "spmm: non-finite edge weight in operator"
         );
         debug_assert!(x.iter().all(|v| v.is_finite()), "spmm: non-finite input entry");
+        SPMM_CALLS.fetch_add(1, Ordering::Relaxed);
         if x_cols == 0 {
             return;
         }

@@ -50,7 +50,7 @@ pub mod io;
 pub mod measures;
 pub mod patterns;
 
-pub use csr::CsrMatrix;
+pub use csr::{spmm_calls, CsrMatrix};
 pub use digraph::DiGraph;
 pub use patterns::{DirectedPattern, PatternSet};
 
@@ -65,6 +65,10 @@ pub enum GraphError {
     LabelLengthMismatch { nodes: usize, labels: usize },
     /// The operation requires a non-empty graph.
     EmptyGraph,
+    /// A normalisation coefficient was outside its valid range. The
+    /// offending value is carried as rendered text so the variant keeps
+    /// the enum's `Eq` derive (an `f32` field would lose it).
+    BadCoefficient { detail: String },
 }
 
 impl std::fmt::Display for GraphError {
@@ -80,6 +84,7 @@ impl std::fmt::Display for GraphError {
                 write!(f, "label vector length {labels} != node count {nodes}")
             }
             GraphError::EmptyGraph => write!(f, "operation requires a non-empty graph"),
+            GraphError::BadCoefficient { detail } => write!(f, "{detail}"),
         }
     }
 }

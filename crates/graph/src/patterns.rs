@@ -13,7 +13,8 @@
 //! paper's `k` accounting (k=2 at order 1, k=6 at order 2).
 
 use crate::csr::CsrMatrix;
-use crate::Result;
+use crate::{GraphError, Result};
+use std::collections::HashMap;
 
 /// One hop direction in a directed-pattern word.
 #[derive(Debug, Clone, Copy, PartialEq, Eq, Hash)]
@@ -118,11 +119,63 @@ impl DirectedPattern {
         }
         Ok(acc.without_diagonal())
     }
+
+    /// Materialises every pattern in `patterns` over `a` with shared work:
+    /// `Aᵀ` is built once, and the raw (pre-diagonal-removal) product for
+    /// every word prefix is memoised, so each distinct product — `A·A`,
+    /// `A·Aᵀ`, `Aᵀ·A`, `Aᵀ·Aᵀ`, … — is computed exactly once per graph even
+    /// when it appears as a prefix of several longer patterns. Each result
+    /// is bitwise identical to [`DirectedPattern::materialize`], which
+    /// performs the same products in the same order.
+    pub fn materialize_all(a: &CsrMatrix, patterns: &[Self]) -> Result<Vec<CsrMatrix>> {
+        let at = a.transpose();
+        // Memo over word *prefixes* of the raw accumulated products; the
+        // diagonal is removed only on the final per-pattern result, exactly
+        // as in `materialize`.
+        let mut memo: HashMap<Vec<Dir>, CsrMatrix> = HashMap::new();
+        let mut out = Vec::with_capacity(patterns.len());
+        for p in patterns {
+            for end in 1..=p.0.len() {
+                let prefix = &p.0[..end];
+                if memo.contains_key(prefix) {
+                    continue;
+                }
+                let product = if end == 1 {
+                    match prefix[0] {
+                        Dir::Fwd => a.clone(),
+                        Dir::Rev => at.clone(),
+                    }
+                } else {
+                    let rhs = match prefix[end - 1] {
+                        Dir::Fwd => a,
+                        Dir::Rev => &at,
+                    };
+                    memo[&prefix[..end - 1]].bool_matmul(rhs)?
+                };
+                memo.insert(prefix.to_vec(), product);
+            }
+            out.push(memo[&p.0].without_diagonal());
+        }
+        Ok(out)
+    }
 }
 
 impl std::fmt::Display for DirectedPattern {
     fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
         write!(f, "{}", self.name())
+    }
+}
+
+/// Rejects convolution coefficients outside the paper's `r ∈ [0, 1]` range
+/// (NaN included) with a typed error, so one bad grid point degrades to a
+/// recorded failure instead of aborting a sweep.
+fn validate_conv_r(conv_r: f32) -> Result<()> {
+    if (0.0..=1.0).contains(&conv_r) {
+        Ok(())
+    } else {
+        Err(GraphError::BadCoefficient {
+            detail: format!("convolution coefficient must be in [0, 1], got {conv_r}"),
+        })
     }
 }
 
@@ -154,14 +207,30 @@ impl PatternSet {
         patterns: Vec<DirectedPattern>,
         conv_r: f32,
     ) -> Result<Self> {
-        assert!((0.0..=1.0).contains(&conv_r), "convolution coefficient must be in [0, 1]");
-        let mut operators = Vec::with_capacity(patterns.len());
-        let mut propagators = Vec::with_capacity(patterns.len());
-        for p in &patterns {
-            let op = p.materialize(a)?;
-            propagators.push(op.normalized(conv_r));
-            operators.push(op);
+        validate_conv_r(conv_r)?;
+        let operators = DirectedPattern::materialize_all(a, &patterns)?;
+        let propagators = operators.iter().map(|op| op.normalized(conv_r)).collect();
+        Ok(Self { patterns, operators, propagators })
+    }
+
+    /// Assembles a set from already-materialised boolean operators,
+    /// normalising each with coefficient `conv_r`. This is the re-use path
+    /// of the precompute cache: one raw materialisation per graph serves
+    /// every `conv_r` a sweep visits. `patterns` and `operators` must be
+    /// parallel (same length, `operators[i]` materialising `patterns[i]`).
+    pub fn from_parts(
+        patterns: Vec<DirectedPattern>,
+        operators: Vec<CsrMatrix>,
+        conv_r: f32,
+    ) -> Result<Self> {
+        validate_conv_r(conv_r)?;
+        if patterns.len() != operators.len() {
+            return Err(GraphError::DimensionMismatch {
+                expected: (patterns.len(), patterns.len()),
+                got: (operators.len(), operators.len()),
+            });
         }
+        let propagators = operators.iter().map(|op| op.normalized(conv_r)).collect();
         Ok(Self { patterns, operators, propagators })
     }
 
@@ -311,10 +380,48 @@ mod tests {
     }
 
     #[test]
-    #[should_panic(expected = "convolution coefficient")]
     fn build_normalized_rejects_bad_coefficient() {
         let a = toy();
-        let _ = PatternSet::build_normalized(&a, DirectedPattern::two_order(), 1.5);
+        for bad in [1.5, -0.1, f32::NAN] {
+            let err = PatternSet::build_normalized(&a, DirectedPattern::two_order(), bad)
+                .expect_err("coefficient outside [0, 1] must be rejected");
+            assert!(
+                matches!(&err, GraphError::BadCoefficient { detail }
+                    if detail.contains("convolution coefficient")),
+                "unexpected error: {err:?}"
+            );
+        }
+    }
+
+    #[test]
+    fn materialize_all_matches_per_pattern_materialize() {
+        let a = toy();
+        let pats = DirectedPattern::enumerate_up_to(3);
+        let shared = DirectedPattern::materialize_all(&a, &pats).unwrap();
+        for (p, got) in pats.iter().zip(&shared) {
+            let direct = p.materialize(&a).unwrap();
+            assert_eq!(got, &direct, "shared-prefix result diverged for {p}");
+        }
+    }
+
+    #[test]
+    fn from_parts_matches_build_normalized() {
+        let a = toy();
+        let pats = DirectedPattern::two_order();
+        let built = PatternSet::build_normalized(&a, pats.clone(), 0.5).unwrap();
+        let ops = DirectedPattern::materialize_all(&a, &pats).unwrap();
+        let assembled = PatternSet::from_parts(pats, ops, 0.5).unwrap();
+        assert_eq!(assembled.operators(), built.operators());
+        assert_eq!(assembled.propagators(), built.propagators());
+    }
+
+    #[test]
+    fn from_parts_rejects_length_mismatch() {
+        let a = toy();
+        let pats = DirectedPattern::two_order();
+        let mut ops = DirectedPattern::materialize_all(&a, &pats).unwrap();
+        ops.pop();
+        assert!(PatternSet::from_parts(pats, ops, 0.0).is_err());
     }
 
     #[test]

@@ -115,6 +115,16 @@ impl fmt::Display for TrainError {
 
 impl std::error::Error for TrainError {}
 
+impl From<amud_graph::GraphError> for TrainError {
+    /// Graph-layer failures (bad normalisation coefficient, shape
+    /// mismatches during operator construction) are structurally invalid
+    /// inputs from the trainer's point of view: exit code 3, recorded in
+    /// sweep failure manifests like any other [`TrainError::BadInput`].
+    fn from(e: amud_graph::GraphError) -> Self {
+        TrainError::BadInput { reason: e.to_string() }
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;

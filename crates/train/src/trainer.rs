@@ -146,6 +146,12 @@ pub struct TrainResult {
     /// Kernel thread budget the run executed under (`AMUD_THREADS`).
     /// Informational only: results are bit-identical at any value.
     pub threads: usize,
+    /// Process-wide precompute-cache counters at the end of the run
+    /// (cumulative — compare two results' snapshots with
+    /// [`amud_cache::CacheStats::delta`] to attribute activity). Like
+    /// `threads`, informational only: cached and uncached runs are
+    /// bit-identical.
+    pub cache: amud_cache::CacheStats,
 }
 
 /// Trains `model` on `data`, returning the test accuracy at the epoch of
@@ -347,6 +353,7 @@ fn train_inner(
         curve,
         recovery,
         threads: amud_par::current_threads(),
+        cache: amud_cache::stats(),
     })
 }
 
@@ -370,10 +377,13 @@ pub struct RepeatOutcome {
 
 /// Runs `build` → train `repeats` times with seeds `base_seed + i` and
 /// summarises test accuracy — the tables' `mean±std` protocol. A seed
-/// whose run fails lands in the failure manifest; the summary covers the
-/// seeds that survived.
+/// whose *construction* or run fails lands in the failure manifest; the
+/// summary covers the seeds that survived. Builders are fallible because
+/// model construction now includes operator materialisation and feature
+/// propagation, which reject malformed inputs with typed errors instead of
+/// aborting the sweep.
 pub fn repeat_runs<M: Model>(
-    build: impl FnMut(u64) -> M,
+    build: impl FnMut(u64) -> Result<M, TrainError>,
     data: &GraphData,
     cfg: TrainConfig,
     repeats: usize,
@@ -386,7 +396,7 @@ pub fn repeat_runs<M: Model>(
 /// the fault-injection suite to prove one diverged seed degrades the
 /// sweep gracefully instead of destroying it.
 pub fn repeat_runs_with_faults<M: Model>(
-    mut build: impl FnMut(u64) -> M,
+    mut build: impl FnMut(u64) -> Result<M, TrainError>,
     data: &GraphData,
     cfg: TrainConfig,
     repeats: usize,
@@ -397,7 +407,13 @@ pub fn repeat_runs_with_faults<M: Model>(
     let mut failures = Vec::new();
     for i in 0..repeats {
         let seed = base_seed + i as u64;
-        let mut model = build(seed);
+        let mut model = match build(seed) {
+            Ok(m) => m,
+            Err(error) => {
+                failures.push(SeedFailure { seed, error });
+                continue;
+            }
+        };
         let plan = fault_for_seed(seed);
         let run = if plan.is_empty() {
             train(&mut model, data, cfg, seed)
@@ -529,7 +545,7 @@ mod tests {
     #[test]
     fn repeat_runs_summarises() {
         let data = toy_data(4);
-        let out = repeat_runs(|seed| MlpModel::new(&data, seed), &data, quick(40), 3, 100);
+        let out = repeat_runs(|seed| Ok(MlpModel::new(&data, seed)), &data, quick(40), 3, 100);
         assert_eq!(out.results.len(), 3);
         assert!(out.failures.is_empty());
         assert!(out.summary.mean > 0.8);

@@ -67,7 +67,7 @@ fn main() {
         }
     }
     for name in ["GCN", "GPRGNN", "BernNet"] {
-        let out = repeat_runs(|s| Shim(build_model(name, &prepared, s)), &prepared, cfg, 3, 0);
+        let out = repeat_runs(|s| Ok(Shim(build_model(name, &prepared, s))), &prepared, cfg, 3, 0);
         println!("  {name:<10} test acc {}", out.summary);
     }
 

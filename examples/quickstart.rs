@@ -43,7 +43,7 @@ fn main() {
     assert_eq!(report.decision, AmudDecision::Directed, "chameleon should stay directed");
 
     // 3. Train ADPA on the prepared topology.
-    let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0);
+    let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0).unwrap();
     println!(
         "\nADPA: {} DP operators {:?}, {} parameters",
         model.pattern_names().len(),

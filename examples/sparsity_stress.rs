@@ -31,7 +31,7 @@ fn eval(data: &GraphData) -> (f64, f64) {
         weight_decay: 5e-4,
         ..TrainConfig::default()
     };
-    let mut adpa = Adpa::new(data, AdpaConfig::default(), 0);
+    let mut adpa = Adpa::new(data, AdpaConfig::default(), 0).unwrap();
     let adpa_acc = train(&mut adpa, data, cfg, 0).expect("training diverged").test_acc;
     let mut dirgnn = DirGnn::new(data, 64, 0.4, 0);
     let dir_acc = train(&mut dirgnn, data, cfg, 0).expect("training diverged").test_acc;

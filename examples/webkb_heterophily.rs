@@ -56,7 +56,7 @@ fn main() {
     let mut dirgnn = DirGnn::new(&prepared, 64, 0.4, 0);
     let dir_acc = train(&mut dirgnn, &prepared, cfg, 0).expect("training diverged").test_acc;
 
-    let mut adpa = Adpa::new(&prepared, AdpaConfig::default(), 0);
+    let mut adpa = Adpa::new(&prepared, AdpaConfig::default(), 0).unwrap();
     let adpa_acc = train(&mut adpa, &prepared, cfg, 0).expect("training diverged").test_acc;
 
     println!("\ntest accuracy:");

@@ -12,7 +12,9 @@
 //!
 //! `<dataset>` is a replica name from Table II (`cora_ml`, `texas`, …);
 //! anything ending in `.amud` is loaded from disk instead. Scale and
-//! repeats respect the `AMUD_SCALE` / `AMUD_EPOCHS` environment knobs.
+//! repeats respect the `AMUD_SCALE` / `AMUD_EPOCHS` environment knobs;
+//! `AMUD_CACHE=off` disables the precompute cache (bit-identical outputs,
+//! only wall-clock changes).
 //!
 //! Every failure maps onto a distinct exit code (see the README table):
 //! 1 I/O, 2 usage, 3 bad input, 4 dataset parse, 5 verifier rejected,
@@ -126,6 +128,9 @@ fn finish(result: Result<amud_repro::train::TrainResult, TrainError>) {
                 result.best_val_acc,
                 result.test_acc
             );
+            if result.cache.total() > 0 {
+                println!("precompute cache: {}", result.cache);
+            }
         }
         Err(e) => die(&e.to_string(), e.exit_code()),
     }
@@ -148,7 +153,8 @@ fn cmd_train(target: &str, model_name: &str, verify_tape: bool, max_retries: Opt
     if model_name == "ADPA" {
         let (prepared, report, _) = paradigm::prepare_topology(&data);
         println!("AMUD S = {:.3} → {:?}", report.score, report.decision);
-        let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0);
+        let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0)
+            .unwrap_or_else(|e| die(&e.to_string(), e.exit_code()));
         if verify_tape {
             report_verification("ADPA", &model, &prepared);
         }

@@ -32,7 +32,7 @@ fn paradigm_one_pipeline_citation_network() {
         report.score
     );
     assert!(prepared.is_undirected());
-    let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0);
+    let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0).unwrap();
     let result = train(&mut model, &prepared, quick(), 0).unwrap();
     assert!(result.test_acc > 0.4, "ADPA on AMUndirected cora: {}", result.test_acc);
 }
@@ -48,7 +48,7 @@ fn paradigm_two_pipeline_oriented_heterophily() {
         report.score
     );
     assert!(!prepared.is_undirected());
-    let mut model = Adpa::new(&prepared, AdpaConfig::default(), 1);
+    let mut model = Adpa::new(&prepared, AdpaConfig::default(), 1).unwrap();
     let result = train(&mut model, &prepared, quick(), 1).unwrap();
     assert!(result.test_acc > 0.3, "ADPA on AMDirected chameleon: {}", result.test_acc);
 }

@@ -32,7 +32,7 @@ fn cfg(epochs: usize) -> TrainConfig {
 #[test]
 fn nan_loss_glitch_is_recovered_and_run_still_learns() {
     let data = bundle("texas", 0);
-    let mut model = Adpa::new(&data, AdpaConfig::default(), 0);
+    let mut model = Adpa::new(&data, AdpaConfig::default(), 0).unwrap();
     let plan = FaultPlan::new().with(Fault::NanLoss { epoch: 20 });
     let result = train_with_faults(&mut model, &data, cfg(60), 0, &plan).unwrap();
     assert_eq!(result.recovery.retries(), 1, "exactly one rollback expected");
@@ -44,7 +44,7 @@ fn nan_loss_glitch_is_recovered_and_run_still_learns() {
 #[test]
 fn gradient_spike_is_recovered() {
     let data = bundle("texas", 1);
-    let mut model = Adpa::new(&data, AdpaConfig::default(), 1);
+    let mut model = Adpa::new(&data, AdpaConfig::default(), 1).unwrap();
     let plan = FaultPlan::new().with(Fault::GradientSpike { epoch: 15, factor: 1e9 });
     let result = train_with_faults(&mut model, &data, cfg(60), 1, &plan).unwrap();
     assert_eq!(result.recovery.retries(), 1);
@@ -54,7 +54,7 @@ fn gradient_spike_is_recovered() {
 #[test]
 fn persistent_divergence_exhausts_retries_into_a_typed_error() {
     let data = bundle("texas", 2);
-    let mut model = Adpa::new(&data, AdpaConfig::default(), 2);
+    let mut model = Adpa::new(&data, AdpaConfig::default(), 2).unwrap();
     let plan = FaultPlan::new().with(Fault::PersistentNanLoss { from_epoch: 5 });
     match train_with_faults(&mut model, &data, cfg(60), 2, &plan) {
         Err(TrainError::NonFiniteLoss { epoch, retries }) => {
@@ -68,7 +68,7 @@ fn persistent_divergence_exhausts_retries_into_a_typed_error() {
 #[test]
 fn zero_retry_budget_fails_on_first_violation() {
     let data = bundle("texas", 3);
-    let mut model = Adpa::new(&data, AdpaConfig::default(), 3);
+    let mut model = Adpa::new(&data, AdpaConfig::default(), 3).unwrap();
     let plan = FaultPlan::new().with(Fault::NanLoss { epoch: 4 });
     let c = TrainConfig { max_retries: 0, ..cfg(30) };
     match train_with_faults(&mut model, &data, c, 3, &plan) {
@@ -82,10 +82,11 @@ fn faulted_and_clean_runs_agree_before_the_injection_epoch() {
     // Determinism contract: the fault harness must not perturb the run
     // before the scheduled epoch.
     let data = bundle("texas", 4);
-    let clean = train(&mut Adpa::new(&data, AdpaConfig::default(), 4), &data, cfg(30), 4).unwrap();
+    let clean =
+        train(&mut Adpa::new(&data, AdpaConfig::default(), 4).unwrap(), &data, cfg(30), 4).unwrap();
     let plan = FaultPlan::new().with(Fault::NanLoss { epoch: 29 });
     let faulted = train_with_faults(
-        &mut Adpa::new(&data, AdpaConfig::default(), 4),
+        &mut Adpa::new(&data, AdpaConfig::default(), 4).unwrap(),
         &data,
         cfg(30),
         4,

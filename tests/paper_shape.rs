@@ -112,7 +112,7 @@ fn adpa_is_competitive_in_both_regimes() {
         let raw = bundle(dataset, seeds);
         let (prepared, _, _) = amud_repro::core::paradigm::prepare_topology(&raw);
         let adpa = avg_acc(|s| {
-            let mut m = Adpa::new(&prepared, AdpaConfig::default(), s);
+            let mut m = Adpa::new(&prepared, AdpaConfig::default(), s).unwrap();
             train(&mut m, &prepared, stable, s).unwrap().test_acc
         });
         let mut baseline_accs = Vec::new();
@@ -152,13 +152,13 @@ fn dp_attention_outperforms_no_attention() {
     // directed-regime dataset.
     let data = bundle("chameleon", 30);
     let full = avg_acc(|s| {
-        let mut m = Adpa::new(&data, AdpaConfig::default(), s);
+        let mut m = Adpa::new(&data, AdpaConfig::default(), s).unwrap();
         train(&mut m, &data, cfg(), s).unwrap().test_acc
     });
     let without = avg_acc(|s| {
         let c =
             AdpaConfig { dp_attention: amud_repro::core::DpAttention::None, ..Default::default() };
-        let mut m = Adpa::new(&data, c, s);
+        let mut m = Adpa::new(&data, c, s).unwrap();
         train(&mut m, &data, cfg(), s).unwrap().test_acc
     });
     assert!(
@@ -175,12 +175,12 @@ fn two_order_patterns_beat_one_order_on_directed_regime() {
     let data = bundle("chameleon", 31);
     let order1 = avg_acc(|s| {
         let c = AdpaConfig { max_order: 1, ..Default::default() };
-        let mut m = Adpa::new(&data, c, s);
+        let mut m = Adpa::new(&data, c, s).unwrap();
         train(&mut m, &data, cfg(), s).unwrap().test_acc
     });
     let order2 = avg_acc(|s| {
         let c = AdpaConfig { max_order: 2, ..Default::default() };
-        let mut m = Adpa::new(&data, c, s);
+        let mut m = Adpa::new(&data, c, s).unwrap();
         train(&mut m, &data, cfg(), s).unwrap().test_acc
     });
     assert!(

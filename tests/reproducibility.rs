@@ -49,7 +49,7 @@ fn adpa_training_is_bit_reproducible() {
     let cfg =
         TrainConfig { epochs: 40, patience: 0, lr: 0.01, weight_decay: 5e-4, ..Default::default() };
     let run = || {
-        let mut m = Adpa::new(&data, AdpaConfig::default(), 7);
+        let mut m = Adpa::new(&data, AdpaConfig::default(), 7).unwrap();
         train(&mut m, &data, cfg, 7).unwrap()
     };
     let (a, b) = (run(), run());

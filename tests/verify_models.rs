@@ -53,7 +53,7 @@ fn adpa_verifies_clean_on_both_paradigms() {
     for dataset in ["cora_ml", "chameleon"] {
         let raw = bundle(dataset, 41);
         let (prepared, _, _) = paradigm::prepare_topology(&raw);
-        let model = Adpa::new(&prepared, AdpaConfig::default(), 0);
+        let model = Adpa::new(&prepared, AdpaConfig::default(), 0).unwrap();
         assert_clean("ADPA", dataset, &verify_model(&model, &prepared, 0));
     }
 }
@@ -70,10 +70,10 @@ fn adpa_ablations_verify_clean() {
         DpAttention::None,
     ] {
         let cfg = AdpaConfig { dp_attention: variant, ..Default::default() };
-        let model = Adpa::new(&raw, cfg, 0);
+        let model = Adpa::new(&raw, cfg, 0).unwrap();
         assert_clean(&format!("ADPA/{variant:?}"), "chameleon", &verify_model(&model, &raw, 0));
     }
     let no_hop = AdpaConfig { hop_attention: false, ..Default::default() };
-    let model = Adpa::new(&raw, no_hop, 0);
+    let model = Adpa::new(&raw, no_hop, 0).unwrap();
     assert_clean("ADPA/no-hop", "chameleon", &verify_model(&model, &raw, 0));
 }
