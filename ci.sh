@@ -9,14 +9,35 @@ cargo fmt --check
 echo "==> cargo clippy --workspace -- -D warnings"
 cargo clippy --workspace -- -D warnings
 
-echo "==> cargo run -p amud-lint"
-cargo run --release -q -p amud-lint
+# The analysis engine's own unit, golden-snapshot, and exit-code tests
+# run before the engine is trusted to gate anything else.
+echo "==> cargo test -p amud-lint"
+cargo test -q -p amud-lint
 
-# The linter must still bite: the committed fixture has a fresh violation
-# and explicit-file mode grants zero budget.
-echo "==> amud-lint fixture must fail"
-if cargo run --release -q -p amud-lint -- crates/lint/fixtures/bad.rs >/dev/null 2>&1; then
-    echo "error: lint fixture passed — the harness has gone soft" >&2
+# Full workspace analysis: all passes, resolved against lint-allow.txt.
+# Exit 1 = fresh violation, 3 = ratchet regression; both stop CI here.
+echo "==> amud-analyze (cargo run -p amud-lint)"
+cargo run --release -q -p amud-lint -- --report analyze-report.json
+
+echo "==> analyze-report.json summary"
+grep -A4 '"summary"' analyze-report.json || true
+
+# The engine must analyze its own crate cleanly with zero budgets —
+# explicit-file mode grants none, so the linter cannot accumulate debt in
+# the code that enforces the rules.
+echo "==> amud-analyze self-check (lint crate, zero budgets)"
+cargo run --release -q -p amud-lint -- crates/lint/src/*.rs
+
+# The engine must still bite: the committed fixture has fresh violations,
+# and "fresh violation" must be exit code 1 exactly (2/3/4 mean the
+# harness itself broke — see crates/lint/tests/cli.rs).
+echo "==> amud-analyze fixture must fail with exit 1"
+set +e
+cargo run --release -q -p amud-lint -- crates/lint/fixtures/bad.rs >/dev/null 2>&1
+fixture_status=$?
+set -e
+if [ "$fixture_status" -ne 1 ]; then
+    echo "error: lint fixture exited $fixture_status (want 1) — the harness has gone soft" >&2
     exit 1
 fi
 

@@ -162,12 +162,14 @@ fn main() {
         let (s, p, ok) = run_pair(reps, par_budget, || {
             let mut m = a.map(|v| 1.0 / (1.0 + (-v).exp()));
             m.par_rows_mut(|_, row| {
-                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
-                let mut sum = 0.0f32;
+                let mut max = f32::NEG_INFINITY;
+                for &v in row.iter() {
+                    max = max.max(v);
+                }
                 for v in row.iter_mut() {
                     *v = (*v - max).exp();
-                    sum += *v;
                 }
+                let sum = amud_par::ordered_sum(row);
                 for v in row.iter_mut() {
                     *v /= sum;
                 }

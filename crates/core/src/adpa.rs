@@ -227,7 +227,10 @@ impl Adpa {
 
         let fused_input = match self.cfg.dp_attention {
             DpAttention::Original => {
-                let w = tape.param(&self.bank, self.w_dp.expect("Original allocates W_DP"));
+                let Some(w_dp) = self.w_dp else {
+                    unreachable!("Adpa::new allocates W_DP whenever dp_attention is Original")
+                };
+                let w = tape.param(&self.bank, w_dp);
                 let weighted: Vec<NodeId> =
                     inputs.iter().enumerate().map(|(j, &x)| tape.col_scale(w, j, x)).collect();
                 tape.concat_cols(&weighted)
@@ -307,15 +310,14 @@ impl Model for Adpa {
             let e = hop.forward(tape, &self.bank, stacked);
             let act = tape.leaky_relu(e, 0.2);
             let w = tape.row_softmax(act);
-            let mut acc: Option<NodeId> = None;
-            for (l, &h) in step_reprs.iter().enumerate() {
+            // K ≥ 1 is validated at construction, so step_reprs is
+            // non-empty; fold in the same op order the Option loop used.
+            let mut acc = tape.col_scale(w, 0, step_reprs[0]);
+            for (l, &h) in step_reprs.iter().enumerate().skip(1) {
                 let scaled = tape.col_scale(w, l, h);
-                acc = Some(match acc {
-                    Some(a) => tape.add(a, scaled),
-                    None => scaled,
-                });
+                acc = tape.add(acc, scaled);
             }
-            acc.expect("K ≥ 1")
+            acc
         } else {
             let mut acc = step_reprs[0];
             for &h in &step_reprs[1..] {

@@ -316,10 +316,16 @@ fn amud_score_patterns(
     patterns: Vec<DirectedPattern>,
     theta: f64,
 ) -> AmudReport {
+    debug_assert_eq!(adj.n_rows(), adj.n_cols(), "AMUD runs on a square adjacency");
     let correlations: Vec<PatternCorrelation> = patterns
         .into_iter()
         .map(|p| {
-            let op = p.materialize(adj).expect("square adjacency materialises");
+            let op = match p.materialize(adj) {
+                Ok(op) => op,
+                // materialize only fails on a bool_matmul dimension
+                // mismatch, impossible for a square adjacency.
+                Err(_) => unreachable!("square adjacency materialises every pattern"),
+            };
             let (r, support) =
                 pattern_label_correlation_with_support(&op, labels, n_classes, labelled);
             let r_squared = r * r;
@@ -416,7 +422,7 @@ pub fn rank_patterns(
         .enumerate()
         .map(|(i, op)| (i, pattern_label_correlation(op, labels, n_classes, labelled)))
         .collect();
-    scored.sort_by(|a, b| b.1.partial_cmp(&a.1).expect("correlations are finite"));
+    scored.sort_by(|a, b| b.1.total_cmp(&a.1));
     scored
 }
 

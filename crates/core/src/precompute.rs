@@ -163,6 +163,12 @@ pub fn propagated(
     if !amud_cache::enabled() {
         return PropagatedFeatures::compute(patterns, x, k_steps);
     }
+    // KEY-EXEMPT(patterns): `key` fully determines the operator set — both
+    // come from the same `operators()` call (see the contract above), so
+    // keying on `patterns` again would be redundant.
+    // KEY-EXEMPT(k_steps): depth is not identity — a cached tensor of depth
+    // ≥ k serves any k as a prefix view, and a shallower entry is extended
+    // in place, so one entry per (key, x) covers every depth.
     let feat_key = (key.clone(), fingerprint_dense(x));
     match feat_store().get(&feat_key) {
         Some(cached) if cached.k_steps() >= k_steps => {

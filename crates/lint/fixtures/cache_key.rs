@@ -1,0 +1,25 @@
+//! Lint fixture: seeded violation for the `cache-key-completeness` pass.
+//! Never compiled — only analyzed (under a `crates/cache` label).
+//!
+//! Expected findings: `incomplete` drops `conv_r` from its key. `complete`
+//! (full coverage through `let` dataflow) and `exempted` (justified
+//! KEY-EXEMPT) must NOT fire.
+
+pub fn incomplete(adj: &CsrMatrix, conv_r: f32, max_order: usize) -> Option<Thing> {
+    let fp = fingerprint_csr(adj);
+    let key = (fp, max_order);
+    norm_store().get(&key)
+}
+
+pub fn complete(adj: &CsrMatrix, max_order: usize) -> Option<Thing> {
+    let fp = fingerprint_csr(adj);
+    let key = (fp, max_order);
+    norm_store().get(&key)
+}
+
+pub fn exempted(adj: &CsrMatrix, k_steps: usize) -> Option<Thing> {
+    // KEY-EXEMPT(k_steps): depth is not identity — the cached entry serves
+    // any requested depth as a prefix view.
+    let key = fingerprint_csr(adj);
+    feat_store().get(&key)
+}

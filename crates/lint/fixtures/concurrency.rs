@@ -1,0 +1,19 @@
+//! Lint fixture: seeded violations for the `concurrency-discipline` pass
+//! (plus one `raw-thread-spawn`). Never compiled — only analyzed under a
+//! label outside `crates/par` and `crates/cache`.
+//!
+//! Expected findings: `Mutex::new` and `AtomicU64::new` construction, and
+//! a raw `thread::spawn`.
+
+use std::sync::atomic::AtomicU64;
+use std::sync::Mutex;
+
+pub fn rogue_state() -> (Mutex<Vec<f32>>, AtomicU64) {
+    let guarded = Mutex::new(Vec::new());
+    let counter = AtomicU64::new(0);
+    (guarded, counter)
+}
+
+pub fn rogue_thread() {
+    std::thread::spawn(|| {});
+}

@@ -1,0 +1,24 @@
+//! Lint fixture: seeded violations for the `float-determinism` pass.
+//! Never compiled — only analyzed (under a non-`crates/par` label).
+//!
+//! Expected findings inside the `par_row_blocks_mut` closure: an iterator
+//! `.sum`, an iterator `.fold`, and a bare-identifier `+=` accumulation.
+//! The deref-LHS update `*o += …` and the serial `.sum` must NOT fire.
+
+pub fn bad_reductions(data: &mut [f32], parts: &[std::ops::Range<usize>]) {
+    amud_par::par_row_blocks_mut(data, 4, parts, |_, rows, block| {
+        let total = block.iter().sum::<f32>();
+        let folded = block.iter().fold(0.0f32, |a, b| a + b);
+        let mut acc = 0.0f32;
+        for &v in block.iter() {
+            acc += v;
+        }
+        for (o, r) in block.iter_mut().zip(rows) {
+            *o += (r as f32) + total + folded + acc;
+        }
+    });
+}
+
+pub fn serial_sum_is_fine(xs: &[f32]) -> f32 {
+    xs.iter().sum()
+}

@@ -1,0 +1,24 @@
+//! Tokenizer stress corpus: raw strings, nested comments, `unsafe` tokens
+//! inside macro bodies, lifetimes vs char literals. Never compiled — only
+//! lexed by the tokenizer fixture tests.
+
+/* outer /* nested block */ still one comment */
+
+macro_rules! sneaky {
+    ($e:expr) => {
+        unsafe { $e }
+    };
+}
+
+pub fn strings<'a>(x: &'a str) -> char {
+    let _raw = r#"not code: .unwrap() panic! unsafe { Mutex::new }"#;
+    let _bytes = br#"also "quoted" bytes"#;
+    let _plain = "escaped \" quote and \\ backslash";
+    let _quote_char = '\'';
+    let _newline = '\n';
+    let _exp = 1.5e-3f32;
+    let _hex = 0xdead_beef_u64;
+    let _range = 0..10;
+    let _method = 1.max(2);
+    'x'
+}

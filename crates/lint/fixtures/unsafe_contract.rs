@@ -1,0 +1,34 @@
+//! Lint fixture: seeded violations for the `unsafe-contract` pass.
+//! Never compiled — only analyzed (under a non-`crates/par` label).
+//!
+//! Expected findings: one missing contract, one placeholder, one contract
+//! that names nothing it governs, one raw-pointer derivation outside the
+//! partition runtime. `well_documented` must NOT fire.
+
+pub fn no_contract(p: *mut f32) {
+    unsafe { p.write(1.0) };
+}
+
+pub fn placeholder(p: *mut f32) {
+    // SAFETY: fine
+    unsafe { p.write(1.0) };
+}
+
+pub fn names_nothing(q: *mut f32) {
+    // SAFETY: every access is valid and exclusive; the partitions are
+    // disjoint by construction.
+    unsafe { q.write(1.0) };
+}
+
+pub fn raw_parts_outside_runtime(base: *mut f32, len: usize) {
+    // SAFETY: `base` and `len` delimit an exclusively borrowed, in-bounds
+    // buffer owned by the caller for the duration of this call.
+    let s = unsafe { std::slice::from_raw_parts_mut(base, len) };
+    s.fill(0.0);
+}
+
+pub fn well_documented(p: *mut f32) {
+    // SAFETY: `p` is valid, in-bounds and exclusively borrowed by this
+    // call; no alias of `p` exists while the write runs.
+    unsafe { p.write(1.0) };
+}

@@ -1,343 +1,213 @@
-//! Workspace lint harness (std-only, no syn): line-oriented static checks
-//! enforcing the repo's reliability conventions on non-test library code.
+//! `amud-analyze` — token-level static analysis for the workspace
+//! (std-only, no syn).
 //!
-//! Rules:
+//! The engine replaces the line-regex linter of PR 1 with a real pipeline
+//! (DESIGN.md §11): [`tokenizer`] lexes each file into a faithful token
+//! stream, [`index`] derives structural facts (brace-matched item spans,
+//! `#[cfg(test)]` masks, `unsafe` sites, parallel-closure bodies, a
+//! function index with one-level `let` dataflow), [`passes`] run the rules
+//! over that index, and the results are resolved against a per-rule
+//! [`Baseline`] so existing debt is budgeted while anything new fails CI.
 //!
-//! 1. **unwrap/expect ratchet** — `.unwrap()` / `.expect(...)` calls in
-//!    library source are budgeted per file by `lint-allow.txt` at the
-//!    workspace root. New calls beyond a file's budget fail the lint; when
-//!    a file drops below its budget the harness asks for the allowlist to
-//!    be ratcheted down (`--bless` rewrites it).
-//! 2. **kernel panic ban** — no `panic!`, `todo!` or `unimplemented!` in
-//!    `amud-nn` / `amud-graph` non-test code: the numeric kernels must
-//!    report through `Result` or documented `expect` invariants.
-//!    (`unreachable!` with a justification message is allowed.)
-//! 3. **SAFETY comments** — every `unsafe` keyword must be introduced by a
-//!    `// SAFETY:` comment on the same or the preceding line.
-//! 4. **doc coverage** — every `pub` item in `amud-core` (the crate other
-//!    people read first) carries a doc comment.
-//! 5. **raw thread-spawn ban** — no `thread::spawn` / `thread::Builder`
-//!    outside `amud-par`: all workspace parallelism goes through the
-//!    deterministic runtime (DESIGN.md §9), so thread-count behaviour and
-//!    the bit-identity contract stay centralised in one crate.
+//! Rules (see [`passes`] for details):
 //!
-//! The scanner is deliberately simple: files are processed line by line,
-//! `//` comments are stripped before token matching, and everything from
-//! the first `#[cfg(test)]` to the end of the file is ignored (the
-//! workspace convention keeps test modules last in the file). That
-//! heuristic is what makes a std-only linter feasible; it is checked by
-//! the fixtures in this crate's tests.
+//! * `unwrap-ratchet` — budgeted `.unwrap()` / `.expect(…)` in library code
+//! * `panic-in-kernel` — no `panic!`/`todo!`/`unimplemented!` in kernels
+//! * `unsafe-contract` — structured `// SAFETY:` contracts with a real
+//!   aliasing/disjointness argument; raw-pointer derivation confined to
+//!   `crates/par`
+//! * `undocumented-public-item` — doc comments on `pub` items in amud-core
+//! * `raw-thread-spawn` — no `thread::spawn` outside amud-par
+//! * `concurrency-discipline` — no sync-primitive construction outside
+//!   `crates/par` / `crates/cache`
+//! * `float-determinism` — no unordered f32 reductions inside `par_*`
+//!   closures
+//! * `cache-key-completeness` — every parameter of a store-consulting
+//!   function flows into its cache key or is `KEY-EXEMPT`-justified
 
-use std::collections::BTreeMap;
-use std::fmt;
+pub mod index;
+pub mod passes;
+pub mod report;
+pub mod tokenizer;
 
-/// Which rule a violation belongs to.
-#[derive(Debug, Clone, Copy, PartialEq, Eq)]
-pub enum RuleKind {
-    UnwrapRatchet,
-    PanicInKernel,
-    MissingSafetyComment,
-    UndocumentedPublicItem,
-    RawThreadSpawn,
+pub use passes::{rules_for, FileRules, RuleKind, Severity, Violation};
+
+use std::collections::{BTreeMap, BTreeSet};
+
+/// Runs the full engine over one file: tokenize → index → passes.
+/// `path` is the workspace-relative path (it selects the rule set).
+pub fn analyze_source(path: &str, source: &str) -> Vec<Violation> {
+    let ix = index::FileIndex::new(tokenizer::tokenize(source));
+    passes::run_passes(path, &ix)
 }
 
-impl RuleKind {
-    pub fn name(self) -> &'static str {
-        match self {
-            RuleKind::UnwrapRatchet => "unwrap-ratchet",
-            RuleKind::PanicInKernel => "panic-in-kernel",
-            RuleKind::MissingSafetyComment => "missing-safety-comment",
-            RuleKind::UndocumentedPublicItem => "undocumented-public-item",
-            RuleKind::RawThreadSpawn => "raw-thread-spawn",
-        }
-    }
-}
-
-/// One finding, anchored to a file and 1-based line.
+/// One baseline entry: a violation budget plus its written justification.
 #[derive(Debug, Clone)]
-pub struct Violation {
-    pub file: String,
-    pub line: usize,
-    pub rule: RuleKind,
-    pub message: String,
+pub struct BaselineEntry {
+    pub budget: usize,
+    pub note: Option<String>,
 }
 
-impl fmt::Display for Violation {
-    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
-        write!(f, "{}:{}: [{}] {}", self.file, self.line, self.rule.name(), self.message)
-    }
-}
-
-/// Which rule set applies to a file, derived from its workspace path.
-#[derive(Debug, Clone, Copy, Default)]
-pub struct FileRules {
-    /// Ban `panic!`/`todo!`/`unimplemented!` (numeric kernel crates).
-    pub forbid_panic: bool,
-    /// Require doc comments on `pub` items (the flagship API crate).
-    pub require_docs: bool,
-    /// Ban raw `thread::spawn` / `thread::Builder` (everywhere except the
-    /// `amud-par` runtime itself).
-    pub forbid_raw_threads: bool,
-}
-
-/// Rule set for a workspace-relative path.
-pub fn rules_for(path: &str) -> FileRules {
-    FileRules {
-        forbid_panic: path.starts_with("crates/nn/src/")
-            || path.starts_with("crates/graph/src/")
-            || path.starts_with("crates/par/src/"),
-        require_docs: path.starts_with("crates/core/src/"),
-        forbid_raw_threads: !path.starts_with("crates/par/src/"),
-    }
-}
-
-/// Per-file unwrap/expect budget, keyed by workspace-relative path.
+/// Per-(rule, file) violation budgets, parsed from `lint-allow.txt`.
+///
+/// Format, one entry per line:
+///
+/// ```text
+/// <rule-id> <path> <count> [# justification]
+/// ```
+///
+/// The budget is a ratchet: counts may only go down. `--bless` regenerates
+/// the file from current counts, preserving justifications.
 #[derive(Debug, Clone, Default)]
-pub struct Allowlist {
-    budgets: BTreeMap<String, usize>,
+pub struct Baseline {
+    entries: BTreeMap<(String, String), BaselineEntry>,
 }
 
-impl Allowlist {
-    /// Parses `lint-allow.txt`: `#` comments, blank lines, and
-    /// `<path> <count>` entries.
+impl Baseline {
+    /// Parses the baseline file; `#`-lines and blank lines are comments.
     pub fn parse(text: &str) -> Result<Self, String> {
-        let mut budgets = BTreeMap::new();
-        for (i, line) in text.lines().enumerate() {
-            let line = line.trim();
+        let mut entries = BTreeMap::new();
+        for (i, raw) in text.lines().enumerate() {
+            let line = raw.trim();
             if line.is_empty() || line.starts_with('#') {
                 continue;
             }
-            let mut parts = line.split_whitespace();
-            let (path, count) = match (parts.next(), parts.next(), parts.next()) {
-                (Some(p), Some(c), None) => (p, c),
-                _ => return Err(format!("line {}: expected `<path> <count>`", i + 1)),
+            let (entry, note) = match line.split_once('#') {
+                Some((e, n)) => {
+                    let n = n.trim();
+                    (e.trim(), if n.is_empty() { None } else { Some(n.to_string()) })
+                }
+                None => (line, None),
             };
-            let count: usize =
-                count.parse().map_err(|_| format!("line {}: `{count}` is not a count", i + 1))?;
-            budgets.insert(path.to_string(), count);
-        }
-        Ok(Self { budgets })
-    }
-
-    /// The unwrap/expect budget for a file (0 when unlisted).
-    pub fn budget(&self, path: &str) -> usize {
-        self.budgets.get(path).copied().unwrap_or(0)
-    }
-
-    /// All allowlisted paths (for stale-entry reporting).
-    pub fn paths(&self) -> impl Iterator<Item = (&str, usize)> {
-        self.budgets.iter().map(|(p, &c)| (p.as_str(), c))
-    }
-
-    /// Renders an allowlist file from per-file counts (used by `--bless`).
-    pub fn render(counts: &BTreeMap<String, usize>) -> String {
-        let mut out = String::from(
-            "# unwrap/expect budget per file (non-test code), enforced by `cargo run -p amud-lint`.\n\
-             # Ratchet DOWN only: fix call sites, then regenerate with `cargo run -p amud-lint -- --bless`.\n",
-        );
-        for (path, count) in counts {
-            if *count > 0 {
-                out.push_str(&format!("{path} {count}\n"));
+            let parts: Vec<&str> = entry.split_whitespace().collect();
+            let [rule, path, count] = parts.as_slice() else {
+                return Err(format!(
+                    "line {}: expected `<rule-id> <path> <count> [# justification]`",
+                    i + 1
+                ));
+            };
+            if RuleKind::from_name(rule).is_none() {
+                return Err(format!("line {}: unknown rule id `{rule}`", i + 1));
             }
+            let budget: usize =
+                count.parse().map_err(|_| format!("line {}: `{count}` is not a count", i + 1))?;
+            entries.insert((rule.to_string(), path.to_string()), BaselineEntry { budget, note });
+        }
+        Ok(Self { entries })
+    }
+
+    /// The budget entry for a (rule, file) pair, if any.
+    pub fn entry(&self, rule: &str, path: &str) -> Option<&BaselineEntry> {
+        self.entries.get(&(rule.to_string(), path.to_string()))
+    }
+
+    /// All entries, for stale reporting and `--bless` note preservation.
+    pub fn entries(&self) -> impl Iterator<Item = (&str, &str, &BaselineEntry)> {
+        self.entries.iter().map(|((r, p), e)| (r.as_str(), p.as_str(), e))
+    }
+
+    /// Renders a baseline file from current per-(rule, file) counts,
+    /// carrying over the justification of any entry that survives.
+    pub fn render(counts: &BTreeMap<(String, String), usize>, old: &Baseline) -> String {
+        let mut out = String::from(
+            "# amud-analyze baseline: `<rule-id> <path> <count> [# justification]`.\n\
+             # Budgets are a ratchet — counts may only go DOWN. Fix the finding, or keep the\n\
+             # entry with a written justification. Regenerate with\n\
+             # `cargo run -p amud-lint -- --bless` (justifications are preserved).\n",
+        );
+        for ((rule, path), n) in counts {
+            if *n == 0 {
+                continue;
+            }
+            out.push_str(&format!("{rule} {path} {n}"));
+            if let Some(e) = old.entries.get(&(rule.clone(), path.clone())) {
+                if let Some(note) = &e.note {
+                    out.push_str(&format!(" # {note}"));
+                }
+            }
+            out.push('\n');
         }
         out
     }
 }
 
-/// What the scanner found in one file.
-#[derive(Debug, Clone, Default)]
-pub struct FileReport {
-    /// Rule 2–4 findings (rule 1 is resolved against the allowlist later).
-    pub violations: Vec<Violation>,
-    /// Non-test `.unwrap()` + `.expect(` call count (rule 1 input).
-    pub unwrap_count: usize,
-    /// Lines (1-based) of the unwrap/expect calls, for reporting overruns.
-    pub unwrap_lines: Vec<usize>,
+/// The outcome of resolving raw findings against the baseline.
+#[derive(Debug, Default)]
+pub struct Resolution {
+    /// Violations in a (rule, file) group with no baseline entry — new
+    /// debt. Exit code 1.
+    pub fresh: Vec<Violation>,
+    /// Violations in a group whose count exceeds a positive budget — the
+    /// ratchet moved the wrong way. Exit code 3.
+    pub regressions: Vec<Violation>,
+    /// Suppressed (within-budget) counts per rule id.
+    pub baselined: BTreeMap<String, usize>,
+    /// Ratchet-down opportunities and stale baseline entries.
+    pub notes: Vec<String>,
+    /// Live per-(rule, file) counts, the input to `--bless`.
+    pub counts: BTreeMap<(String, String), usize>,
 }
 
-/// Returns the line with `//` comments removed and string-literal contents
-/// blanked (the quotes stay), so tokens inside either never match a rule —
-/// including in this linter's own source.
-fn code_only(line: &str) -> String {
-    let bytes = line.as_bytes();
-    let mut out = String::with_capacity(line.len());
-    let mut in_str = false;
-    let mut i = 0;
-    while i < bytes.len() {
-        let b = bytes[i];
-        match b {
-            b'\\' if in_str => i += 1, // skip the escaped byte
-            b'"' => {
-                in_str = !in_str;
-                out.push('"');
-            }
-            b'/' if !in_str && i + 1 < bytes.len() && bytes[i + 1] == b'/' => break,
-            _ if !in_str => out.push(b as char),
-            _ => {}
-        }
-        i += 1;
+/// Resolves raw findings against the baseline. `scanned` is the set of
+/// file labels that were analyzed (to tell a fixed file from a deleted
+/// one when reporting stale entries).
+pub fn resolve(
+    violations: Vec<Violation>,
+    scanned: &BTreeSet<String>,
+    baseline: &Baseline,
+) -> Resolution {
+    let mut groups: BTreeMap<(String, String), Vec<Violation>> = BTreeMap::new();
+    for v in violations {
+        groups.entry((v.rule.name().to_string(), v.file.clone())).or_default().push(v);
     }
-    out
-}
-
-fn is_doc_or_attr(trimmed: &str) -> bool {
-    trimmed.starts_with("///") || trimmed.starts_with("#[") || trimmed.starts_with("#!")
-}
-
-/// True when the trimmed line declares a `pub` item that needs a doc
-/// comment (re-exports and restricted visibility are out of scope).
-fn is_pub_item(trimmed: &str) -> bool {
-    if !trimmed.starts_with("pub ") || trimmed.starts_with("pub use ") {
-        return false;
-    }
-    let rest = &trimmed[4..];
-    ["fn ", "struct ", "enum ", "trait ", "type ", "const ", "static ", "mod "]
-        .iter()
-        .any(|kw| rest.starts_with(kw))
-}
-
-/// Scans one file. `path` is the workspace-relative path (used both for
-/// reporting and for selecting the rule set via [`rules_for`]).
-pub fn lint_source(path: &str, source: &str) -> FileReport {
-    let rules = rules_for(path);
-    let mut report = FileReport::default();
-    let lines: Vec<&str> = source.lines().collect();
-
-    // Everything from the first `#[cfg(test)]` onward is test code by
-    // workspace convention (test modules close the file).
-    let code_end = lines
-        .iter()
-        .position(|l| l.trim_start().starts_with("#[cfg(test)]"))
-        .unwrap_or(lines.len());
-
-    for (idx, raw) in lines[..code_end].iter().enumerate() {
-        let line_no = idx + 1;
-        let code = code_only(raw);
-        let trimmed = code.trim_start();
-
-        // Rule 1: unwrap/expect counting.
-        let hits = code.matches(".unwrap()").count() + code.matches(".expect(").count();
-        if hits > 0 {
-            report.unwrap_count += hits;
-            report.unwrap_lines.push(line_no);
-        }
-
-        // Rule 2: kernel panic ban.
-        if rules.forbid_panic {
-            for mac in ["panic!", "todo!", "unimplemented!"] {
-                if code.contains(mac) {
-                    report.violations.push(Violation {
-                        file: path.to_string(),
-                        line: line_no,
-                        rule: RuleKind::PanicInKernel,
-                        message: format!(
-                            "`{mac}` in a kernel crate — return a Result or document the invariant with expect()"
-                        ),
-                    });
-                }
+    let mut res = Resolution::default();
+    for ((rule, path), vs) in groups {
+        let n = vs.len();
+        res.counts.insert((rule.clone(), path.clone()), n);
+        match baseline.entry(&rule, &path) {
+            None => res.fresh.extend(vs),
+            Some(e) if n > e.budget => {
+                res.notes.push(format!(
+                    "{path}: {n} {rule} finding(s) against a budget of {} — the ratchet only goes down",
+                    e.budget
+                ));
+                res.regressions.extend(vs);
             }
-        }
-
-        // Rule 5: raw thread-spawn ban.
-        if rules.forbid_raw_threads {
-            for token in ["thread::spawn", "thread::Builder"] {
-                if code.contains(token) {
-                    report.violations.push(Violation {
-                        file: path.to_string(),
-                        line: line_no,
-                        rule: RuleKind::RawThreadSpawn,
-                        message: format!(
-                            "`{token}` outside amud-par — use the deterministic runtime \
-                             (amud_par::run / par_row_blocks_mut) instead"
-                        ),
-                    });
+            Some(e) => {
+                *res.baselined.entry(rule.clone()).or_default() += n;
+                if n < e.budget {
+                    res.notes.push(format!(
+                        "{path}: {n} {rule} finding(s) under a budget of {} — ratchet down \
+                         (`cargo run -p amud-lint -- --bless`)",
+                        e.budget
+                    ));
                 }
-            }
-        }
-
-        // Rule 3: SAFETY comments. The comment may sit on the same line or
-        // the line above (checked on the raw text, since it *is* a comment).
-        if code.contains("unsafe") {
-            let here = raw.contains("// SAFETY:");
-            let above = idx > 0 && lines[idx - 1].trim_start().starts_with("// SAFETY:");
-            if !here && !above {
-                report.violations.push(Violation {
-                    file: path.to_string(),
-                    line: line_no,
-                    rule: RuleKind::MissingSafetyComment,
-                    message: "`unsafe` without a `// SAFETY:` comment on this or the previous line"
-                        .into(),
-                });
-            }
-        }
-
-        // Rule 4: doc coverage.
-        if rules.require_docs && is_pub_item(trimmed) {
-            let mut j = idx;
-            let mut documented = false;
-            while j > 0 {
-                let prev = lines[j - 1].trim_start();
-                if prev.starts_with("///") {
-                    documented = true;
-                    break;
-                }
-                if is_doc_or_attr(prev) {
-                    j -= 1; // skip attribute lines between doc and item
-                    continue;
-                }
-                break;
-            }
-            if !documented {
-                report.violations.push(Violation {
-                    file: path.to_string(),
-                    line: line_no,
-                    rule: RuleKind::UndocumentedPublicItem,
-                    message: format!(
-                        "public item `{}` has no doc comment",
-                        trimmed.split('{').next().unwrap_or(trimmed).trim()
-                    ),
-                });
             }
         }
     }
-    report
-}
-
-/// Resolves rule 1 for one file against the allowlist: an overrun is a
-/// violation; headroom is returned as a ratchet opportunity.
-pub fn resolve_ratchet(
-    path: &str,
-    report: &FileReport,
-    allow: &Allowlist,
-) -> (Option<Violation>, Option<String>) {
-    let budget = allow.budget(path);
-    if report.unwrap_count > budget {
-        let line = report.unwrap_lines.last().copied().unwrap_or(0);
-        (
-            Some(Violation {
-                file: path.to_string(),
-                line,
-                rule: RuleKind::UnwrapRatchet,
-                message: format!(
-                    "{} unwrap/expect call(s) but the allowlist budget is {budget} — \
-                     handle the error or move the budget with a justification",
-                    report.unwrap_count
-                ),
-            }),
-            None,
-        )
-    } else if report.unwrap_count < budget {
-        (
-            None,
-            Some(format!(
-                "{path}: {} unwrap/expect call(s) under a budget of {budget} — ratchet down \
+    for (rule, path, e) in baseline.entries() {
+        let key = (rule.to_string(), path.to_string());
+        if res.counts.contains_key(&key) {
+            continue;
+        }
+        if scanned.contains(path) {
+            res.notes.push(format!(
+                "{path}: {rule} budget {} but the file is now clean — ratchet down \
                  (`cargo run -p amud-lint -- --bless`)",
-                report.unwrap_count
-            )),
-        )
-    } else {
-        (None, None)
+                e.budget
+            ));
+        } else {
+            res.notes.push(format!(
+                "{path}: baselined for {rule} ({}) but no longer scanned — remove the entry",
+                e.budget
+            ));
+        }
     }
+    let order = |v: &Violation| (v.file.clone(), v.line, v.col, v.rule);
+    res.fresh.sort_by_key(order);
+    res.regressions.sort_by_key(order);
+    res.notes.sort();
+    res
 }
 
 #[cfg(test)]
@@ -348,122 +218,141 @@ mod tests {
     const CORE_PATH: &str = "crates/core/src/fixture.rs";
     const PLAIN_PATH: &str = "crates/train/src/fixture.rs";
 
+    fn by_rule(vs: &[Violation], rule: RuleKind) -> Vec<&Violation> {
+        vs.iter().filter(|v| v.rule == rule).collect()
+    }
+
+    fn resolve_all(path: &str, src: &str, baseline: &Baseline) -> Resolution {
+        let scanned: BTreeSet<String> = [path.to_string()].into();
+        resolve(analyze_source(path, src), &scanned, baseline)
+    }
+
     #[test]
     fn counts_unwrap_and_expect_outside_tests() {
         let src = "fn f() {\n    x.unwrap();\n    y.expect(\"reason\");\n}\n\
                    #[cfg(test)]\nmod tests {\n    fn g() { z.unwrap(); }\n}\n";
-        let report = lint_source(PLAIN_PATH, src);
-        assert_eq!(report.unwrap_count, 2, "test-module unwrap must not count");
-        assert_eq!(report.unwrap_lines, vec![2, 3]);
+        let vs = analyze_source(PLAIN_PATH, src);
+        let unwraps = by_rule(&vs, RuleKind::UnwrapRatchet);
+        assert_eq!(unwraps.len(), 2, "test-module unwrap must not count");
+        assert_eq!((unwraps[0].line, unwraps[1].line), (2, 3));
     }
 
     #[test]
     fn comments_and_strings_do_not_count_as_calls() {
         let src = "fn f() {\n    // don't .unwrap() here\n    let s = \"https://x\"; g();\n    let t = \"never .unwrap() or panic! in strings\";\n}\n";
-        let report = lint_source(PLAIN_PATH, src);
-        assert_eq!(report.unwrap_count, 0);
-        assert!(lint_source(KERNEL_PATH, src).violations.is_empty());
+        assert!(analyze_source(PLAIN_PATH, src).is_empty());
+        assert!(analyze_source(KERNEL_PATH, src).is_empty());
     }
 
     #[test]
-    fn ratchet_flags_overrun_and_reports_headroom() {
-        let allow = Allowlist::parse(&format!("{PLAIN_PATH} 1\n")).unwrap();
-        let over = lint_source(PLAIN_PATH, "fn f() { a.unwrap(); b.unwrap(); }\n");
-        let (violation, note) = resolve_ratchet(PLAIN_PATH, &over, &allow);
-        let v = violation.expect("overrun must fail");
-        assert_eq!(v.rule, RuleKind::UnwrapRatchet);
-        assert!(note.is_none());
+    fn ratchet_classifies_overrun_headroom_and_fresh() {
+        let two = "fn f() { a.unwrap(); b.unwrap(); }\n";
+        let baseline =
+            Baseline::parse(&format!("unwrap-ratchet {PLAIN_PATH} 1 # legacy\n")).unwrap();
+        let res = resolve_all(PLAIN_PATH, two, &baseline);
+        assert!(res.fresh.is_empty());
+        assert_eq!(res.regressions.len(), 2, "overrun of a budgeted file is a regression");
 
-        let under = lint_source(PLAIN_PATH, "fn f() {}\n");
-        let (violation, note) = resolve_ratchet(PLAIN_PATH, &under, &allow);
-        assert!(violation.is_none());
-        assert!(note.expect("headroom must ask for a ratchet").contains("ratchet down"));
+        let baseline3 =
+            Baseline::parse(&format!("unwrap-ratchet {PLAIN_PATH} 3 # legacy\n")).unwrap();
+        let res = resolve_all(PLAIN_PATH, two, &baseline3);
+        assert!(res.fresh.is_empty() && res.regressions.is_empty());
+        assert_eq!(res.baselined["unwrap-ratchet"], 2);
+        assert!(res.notes.iter().any(|n| n.contains("ratchet down")));
+
+        let res = resolve_all(PLAIN_PATH, two, &Baseline::default());
+        assert_eq!(res.fresh.len(), 2, "an unlisted file has zero budget");
     }
 
     #[test]
-    fn unlisted_file_has_zero_budget() {
-        let allow = Allowlist::default();
-        let report = lint_source(PLAIN_PATH, "fn f() { a.unwrap(); }\n");
-        let (violation, _) = resolve_ratchet(PLAIN_PATH, &report, &allow);
-        assert!(violation.is_some(), "a new unwrap in a clean file must fail");
+    fn clean_budgeted_file_asks_for_ratchet_and_missing_file_is_stale() {
+        let baseline =
+            Baseline::parse(&format!("unwrap-ratchet {PLAIN_PATH} 2\nunwrap-ratchet gone.rs 1\n"))
+                .unwrap();
+        let res = resolve_all(PLAIN_PATH, "fn f() {}\n", &baseline);
+        assert!(res.notes.iter().any(|n| n.contains("now clean")));
+        assert!(res.notes.iter().any(|n| n.contains("no longer scanned")));
     }
 
     #[test]
     fn panic_banned_only_in_kernel_crates() {
         let src = "fn f() {\n    panic!(\"boom\");\n}\n";
-        let kernel = lint_source(KERNEL_PATH, src);
-        assert_eq!(kernel.violations.len(), 1);
-        assert_eq!(kernel.violations[0].rule, RuleKind::PanicInKernel);
-        assert_eq!(kernel.violations[0].line, 2);
-
-        let plain = lint_source(PLAIN_PATH, src);
-        assert!(plain.violations.is_empty(), "panic rule is kernel-crate-only");
+        let vs = analyze_source(KERNEL_PATH, src);
+        assert_eq!(by_rule(&vs, RuleKind::PanicInKernel).len(), 1);
+        assert_eq!(vs[0].line, 2);
+        assert!(analyze_source(PLAIN_PATH, src).is_empty(), "panic rule is kernel-crate-only");
     }
 
     #[test]
     fn unreachable_with_message_is_allowed_in_kernels() {
         let src = "fn f() {\n    unreachable!(\"loop invariant\");\n}\n";
-        assert!(lint_source(KERNEL_PATH, src).violations.is_empty());
+        assert!(analyze_source(KERNEL_PATH, src).is_empty());
     }
 
     #[test]
-    fn unsafe_requires_safety_comment() {
-        let bad = "fn f() {\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
-        let report = lint_source(PLAIN_PATH, bad);
-        assert_eq!(report.violations.len(), 1);
-        assert_eq!(report.violations[0].rule, RuleKind::MissingSafetyComment);
+    fn unsafe_requires_substantive_contract() {
+        let bare = "fn f(p: *mut f32) {\n    unsafe { p.write(0.0) }\n}\n";
+        let vs = analyze_source(PLAIN_PATH, bare);
+        assert_eq!(by_rule(&vs, RuleKind::UnsafeContract).len(), 1);
 
-        let good = "fn f() {\n    // SAFETY: guarded by the bounds check above\n    unsafe { core::hint::unreachable_unchecked() }\n}\n";
-        assert!(lint_source(PLAIN_PATH, good).violations.is_empty());
+        let placeholder =
+            "fn f(p: *mut f32) {\n    // SAFETY: fine\n    unsafe { p.write(0.0) }\n}\n";
+        let vs = analyze_source(PLAIN_PATH, placeholder);
+        assert_eq!(by_rule(&vs, RuleKind::UnsafeContract).len(), 1, "placeholder must not pass");
+
+        let good = "fn f(p: *mut f32) {\n    // SAFETY: p is valid and exclusively borrowed by this call;\n    // no other alias of p exists while the write runs.\n    unsafe { p.write(0.0) }\n}\n";
+        assert!(analyze_source(PLAIN_PATH, good).is_empty());
     }
 
     #[test]
     fn core_pub_items_need_docs() {
         let bad = "pub fn naked() {}\n";
-        let report = lint_source(CORE_PATH, bad);
-        assert_eq!(report.violations.len(), 1);
-        assert_eq!(report.violations[0].rule, RuleKind::UndocumentedPublicItem);
+        let vs = analyze_source(CORE_PATH, bad);
+        assert_eq!(by_rule(&vs, RuleKind::UndocumentedPublicItem).len(), 1);
 
         let good = "/// Documented.\n#[derive(Debug)]\npub struct S;\n";
-        assert!(lint_source(CORE_PATH, good).violations.is_empty());
-
-        let other_crate = lint_source(PLAIN_PATH, bad);
-        assert!(other_crate.violations.is_empty(), "doc rule is amud-core-only");
+        assert!(analyze_source(CORE_PATH, good).is_empty());
+        assert!(analyze_source(PLAIN_PATH, bad).is_empty(), "doc rule is amud-core-only");
     }
 
     #[test]
     fn pub_use_and_restricted_visibility_are_exempt() {
         let src = "pub use crate::thing::Thing;\npub(crate) fn helper() {}\n";
-        assert!(lint_source(CORE_PATH, src).violations.is_empty());
+        assert!(analyze_source(CORE_PATH, src).is_empty());
     }
 
     #[test]
     fn raw_thread_spawn_banned_outside_amud_par() {
         let spawn = "fn f() {\n    std::thread::spawn(|| {});\n}\n";
-        let report = lint_source(PLAIN_PATH, spawn);
-        assert_eq!(report.violations.len(), 1);
-        assert_eq!(report.violations[0].rule, RuleKind::RawThreadSpawn);
-        assert_eq!(report.violations[0].line, 2);
-
-        let builder = "fn f() {\n    std::thread::Builder::new();\n}\n";
-        assert_eq!(lint_source(KERNEL_PATH, builder).violations.len(), 1);
+        let vs = analyze_source(PLAIN_PATH, spawn);
+        assert_eq!(by_rule(&vs, RuleKind::RawThreadSpawn).len(), 1);
+        assert_eq!(vs[0].line, 2);
 
         // The runtime crate itself may spawn, and test modules are exempt.
-        assert!(lint_source("crates/par/src/pool.rs", spawn).violations.is_empty());
+        assert!(analyze_source("crates/par/src/pool.rs", spawn).is_empty());
         let in_tests =
             "fn f() {}\n#[cfg(test)]\nmod tests {\n    fn g() { std::thread::spawn(|| {}); }\n}\n";
-        assert!(lint_source(PLAIN_PATH, in_tests).violations.is_empty());
+        assert!(analyze_source(PLAIN_PATH, in_tests).is_empty());
     }
 
     #[test]
-    fn allowlist_round_trips() {
+    fn baseline_round_trips_with_justifications() {
+        let old = Baseline::parse(
+            "unwrap-ratchet a.rs 3 # legacy IO path\nconcurrency-discipline b.rs 1 # perf counter\n",
+        )
+        .unwrap();
         let mut counts = BTreeMap::new();
-        counts.insert("a.rs".to_string(), 3);
-        counts.insert("b.rs".to_string(), 0); // dropped: clean files stay unlisted
-        let text = Allowlist::render(&counts);
-        let allow = Allowlist::parse(&text).unwrap();
-        assert_eq!(allow.budget("a.rs"), 3);
-        assert_eq!(allow.budget("b.rs"), 0);
-        assert!(Allowlist::parse("nonsense line\n").is_err());
+        counts.insert(("unwrap-ratchet".to_string(), "a.rs".to_string()), 2);
+        counts.insert(("concurrency-discipline".to_string(), "b.rs".to_string()), 1);
+        counts.insert(("unwrap-ratchet".to_string(), "clean.rs".to_string()), 0);
+        let text = Baseline::render(&counts, &old);
+        let reparsed = Baseline::parse(&text).unwrap();
+        let e = reparsed.entry("unwrap-ratchet", "a.rs").expect("entry kept");
+        assert_eq!(e.budget, 2, "bless writes the current (lower) count");
+        assert_eq!(e.note.as_deref(), Some("legacy IO path"), "justification preserved");
+        assert!(reparsed.entry("unwrap-ratchet", "clean.rs").is_none(), "clean files unlisted");
+
+        assert!(Baseline::parse("nonsense line\n").is_err());
+        assert!(Baseline::parse("not-a-rule a.rs 1\n").is_err(), "rule ids are validated");
     }
 }

@@ -1,27 +1,42 @@
-//! `cargo run -p amud-lint` — workspace lint harness.
+//! `cargo run -p amud-lint` — the `amud-analyze` workspace engine.
 //!
 //! Scans every library source file (`crates/*/src/**`, `src/**`) with the
-//! rules in [`amud_lint`], resolves the unwrap/expect ratchet against
-//! `lint-allow.txt` at the workspace root, and exits non-zero on any
-//! violation.
+//! passes in [`amud_lint::passes`], resolves the findings against the
+//! per-rule baseline in `lint-allow.txt`, and exits with a distinct code
+//! per failure class:
 //!
 //! ```text
-//! cargo run -p amud-lint              # check
-//! cargo run -p amud-lint -- --bless   # rewrite lint-allow.txt with current counts
-//! cargo run -p amud-lint -- FILE...   # lint specific files (zero budgets)
+//! 0  clean (baselined debt only)
+//! 1  fresh violation — a (rule, file) pair with no baseline entry
+//! 2  usage error — unknown flag / malformed baseline
+//! 3  ratchet regression — a budgeted count went up
+//! 4  internal error — unreadable file, unwritable report
+//! ```
+//!
+//! ```text
+//! cargo run -p amud-lint                        # check the workspace
+//! cargo run -p amud-lint -- --bless             # rewrite lint-allow.txt from current counts
+//! cargo run -p amud-lint -- --report out.json   # also write analyze-report.json
+//! cargo run -p amud-lint -- --baseline f FILE…  # lint specific files against a baseline
+//! cargo run -p amud-lint -- FILE…               # lint specific files (zero budgets)
 //! ```
 
-use amud_lint::{lint_source, resolve_ratchet, Allowlist, Violation};
-use std::collections::BTreeMap;
+use amud_lint::{analyze_source, report, resolve, Baseline, Violation};
+use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
+use std::process::ExitCode;
 
-/// Workspace root: two levels above this crate's manifest.
+const EXIT_CLEAN: u8 = 0;
+const EXIT_VIOLATION: u8 = 1;
+const EXIT_USAGE: u8 = 2;
+const EXIT_REGRESSION: u8 = 3;
+const EXIT_INTERNAL: u8 = 4;
+
+/// Workspace root: two levels above this crate's manifest. The layout is
+/// fixed by the repo (crates/lint/Cargo.toml), so the ancestor always
+/// exists; fall back to `.` rather than crash inside the linter.
 fn workspace_root() -> PathBuf {
-    Path::new(env!("CARGO_MANIFEST_DIR"))
-        .ancestors()
-        .nth(2)
-        .expect("crates/lint sits two levels under the workspace root")
-        .to_path_buf()
+    Path::new(env!("CARGO_MANIFEST_DIR")).ancestors().nth(2).unwrap_or(Path::new(".")).to_path_buf()
 }
 
 fn collect_rs_files(dir: &Path, out: &mut Vec<PathBuf>) {
@@ -70,99 +85,139 @@ fn rel(root: &Path, path: &Path) -> String {
     path.strip_prefix(root).unwrap_or(path).to_string_lossy().replace('\\', "/")
 }
 
-fn main() {
-    let args: Vec<String> = std::env::args().skip(1).collect();
-    let bless = args.iter().any(|a| a == "--bless");
-    if let Some(flag) = args.iter().find(|a| a.starts_with("--") && *a != "--bless") {
-        eprintln!("error: unknown flag '{flag}' (only --bless is recognised)");
-        std::process::exit(2);
-    }
-    let explicit: Vec<String> = args.into_iter().filter(|a| !a.starts_with("--")).collect();
+struct Options {
+    bless: bool,
+    report_path: Option<PathBuf>,
+    baseline_path: Option<PathBuf>,
+    explicit: Vec<PathBuf>,
+}
 
-    let root = workspace_root();
-    let allow_path = root.join("lint-allow.txt");
-
-    // Explicit files are linted against zero budgets — the mode the lint
-    // fixtures and pre-commit hooks use.
-    let (files, allow) = if explicit.is_empty() {
-        let allow = match std::fs::read_to_string(&allow_path) {
-            Ok(text) => match Allowlist::parse(&text) {
-                Ok(a) => a,
-                Err(e) => {
-                    eprintln!("error: lint-allow.txt: {e}");
-                    std::process::exit(2);
-                }
+fn parse_args(args: &[String]) -> Result<Options, String> {
+    let mut opts =
+        Options { bless: false, report_path: None, baseline_path: None, explicit: Vec::new() };
+    let mut it = args.iter();
+    while let Some(a) = it.next() {
+        match a.as_str() {
+            "--bless" => opts.bless = true,
+            "--report" => match it.next() {
+                Some(p) => opts.report_path = Some(PathBuf::from(p)),
+                None => return Err("--report needs a path".into()),
             },
-            Err(_) => Allowlist::default(),
-        };
-        (workspace_sources(&root), allow)
-    } else {
-        (explicit.iter().map(PathBuf::from).collect(), Allowlist::default())
+            "--baseline" => match it.next() {
+                Some(p) => opts.baseline_path = Some(PathBuf::from(p)),
+                None => return Err("--baseline needs a path".into()),
+            },
+            flag if flag.starts_with("--") => {
+                return Err(format!(
+                    "unknown flag '{flag}' (recognised: --bless, --report <path>, --baseline <path>)"
+                ));
+            }
+            file => opts.explicit.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(o) => o,
+        Err(e) => {
+            eprintln!("error: {e}");
+            return ExitCode::from(EXIT_USAGE);
+        }
     };
 
-    let mut violations: Vec<Violation> = Vec::new();
-    let mut notes: Vec<String> = Vec::new();
-    let mut counts: BTreeMap<String, usize> = BTreeMap::new();
-    let mut scanned = 0usize;
+    let root = workspace_root();
+    let default_baseline = root.join("lint-allow.txt");
 
+    // Explicit files are linted against zero budgets unless --baseline is
+    // given — the mode the lint fixtures and pre-commit hooks use.
+    let workspace_mode = opts.explicit.is_empty();
+    let baseline_path = match &opts.baseline_path {
+        Some(p) => Some(p.clone()),
+        None if workspace_mode => Some(default_baseline.clone()),
+        None => None,
+    };
+    let baseline = match &baseline_path {
+        Some(p) if opts.baseline_path.is_some() || p.exists() => {
+            let text = match std::fs::read_to_string(p) {
+                Ok(t) => t,
+                Err(e) => {
+                    eprintln!("error: cannot read {}: {e}", p.display());
+                    return ExitCode::from(EXIT_INTERNAL);
+                }
+            };
+            match Baseline::parse(&text) {
+                Ok(b) => b,
+                Err(e) => {
+                    eprintln!("error: {}: {e}", p.display());
+                    return ExitCode::from(EXIT_USAGE);
+                }
+            }
+        }
+        _ => Baseline::default(),
+    };
+
+    let files = if workspace_mode { workspace_sources(&root) } else { opts.explicit.clone() };
+
+    let mut violations: Vec<Violation> = Vec::new();
+    let mut scanned: BTreeSet<String> = BTreeSet::new();
     for path in &files {
         let label = rel(&root, path);
         let source = match std::fs::read_to_string(path) {
             Ok(s) => s,
             Err(e) => {
                 eprintln!("error: cannot read {label}: {e}");
-                std::process::exit(2);
+                return ExitCode::from(EXIT_INTERNAL);
             }
         };
-        scanned += 1;
-        let report = lint_source(&label, &source);
-        counts.insert(label.clone(), report.unwrap_count);
-        violations.extend(report.violations.iter().cloned());
-        let (overrun, note) = resolve_ratchet(&label, &report, &allow);
-        violations.extend(overrun);
-        notes.extend(note);
+        scanned.insert(label.clone());
+        violations.extend(analyze_source(&label, &source));
     }
 
-    // Stale allowlist entries point at deleted/renamed files; surface them
-    // so the budget cannot silently migrate.
-    for (path, budget) in allow.paths() {
-        if !counts.contains_key(path) {
-            notes.push(format!(
-                "{path}: allowlisted ({budget}) but no longer scanned — remove the entry"
-            ));
-        }
-    }
+    let res = resolve(violations, &scanned, &baseline);
 
-    if bless {
-        let text = Allowlist::render(&counts);
-        if let Err(e) = std::fs::write(&allow_path, text) {
-            eprintln!("error: cannot write {}: {e}", allow_path.display());
-            std::process::exit(2);
+    if opts.bless {
+        let text = Baseline::render(&res.counts, &baseline);
+        let target = baseline_path.unwrap_or(default_baseline);
+        if let Err(e) = std::fs::write(&target, text) {
+            eprintln!("error: cannot write {}: {e}", target.display());
+            return ExitCode::from(EXIT_INTERNAL);
         }
         println!(
-            "blessed {} ({} files, {} budgeted)",
-            allow_path.display(),
-            scanned,
-            counts.values().filter(|&&c| c > 0).count()
+            "blessed {} ({} files, {} budgeted finding(s))",
+            target.display(),
+            scanned.len(),
+            res.counts.values().sum::<usize>()
         );
-        return;
+        return ExitCode::from(EXIT_CLEAN);
     }
 
-    for v in &violations {
+    if let Some(report_path) = &opts.report_path {
+        let json = report::render_json(scanned.len(), &res);
+        if let Err(e) = std::fs::write(report_path, json) {
+            eprintln!("error: cannot write {}: {e}", report_path.display());
+            return ExitCode::from(EXIT_INTERNAL);
+        }
+    }
+
+    for v in &res.fresh {
         println!("{v}");
     }
-    for n in &notes {
+    for v in &res.regressions {
+        println!("{v}");
+    }
+    for n in &res.notes {
         println!("note: {n}");
     }
-    let budget_total: usize = counts.values().sum();
-    println!(
-        "amud-lint: {} file(s), {} violation(s), {} ratchet note(s), {} unwrap/expect call(s) budgeted",
-        scanned,
-        violations.len(),
-        notes.len(),
-        budget_total
-    );
-    if !violations.is_empty() {
-        std::process::exit(1);
+    print!("{}", report::render_summary(scanned.len(), &res));
+
+    if !res.fresh.is_empty() {
+        ExitCode::from(EXIT_VIOLATION)
+    } else if !res.regressions.is_empty() {
+        ExitCode::from(EXIT_REGRESSION)
+    } else {
+        ExitCode::from(EXIT_CLEAN)
     }
 }

@@ -1,0 +1,146 @@
+//! Report rendering for `amud-analyze`: the machine-readable
+//! `analyze-report.json` and the human summary printed by `ci.sh`.
+//!
+//! The JSON is deliberately hand-rendered (std-only workspace) and
+//! deterministic: violations are sorted, there are no timestamps, and maps
+//! iterate in `BTreeMap` order — so golden-snapshot tests can compare the
+//! exact bytes.
+
+use crate::passes::Violation;
+use crate::Resolution;
+use std::collections::BTreeMap;
+use std::fmt::Write as _;
+
+/// Escapes a string for a JSON string literal.
+fn esc(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out
+}
+
+fn violation_json(v: &Violation, class: &str, indent: &str) -> String {
+    let mut out = format!(
+        "{indent}{{\n\
+         {indent}  \"file\": \"{}\",\n\
+         {indent}  \"line\": {},\n\
+         {indent}  \"col\": {},\n\
+         {indent}  \"rule\": \"{}\",\n\
+         {indent}  \"severity\": \"{}\",\n\
+         {indent}  \"class\": \"{class}\",\n\
+         {indent}  \"message\": \"{}\"",
+        esc(&v.file),
+        v.line,
+        v.col,
+        v.rule.name(),
+        v.severity.name(),
+        esc(&v.message),
+    );
+    if let Some(s) = &v.suggestion {
+        let _ = write!(out, ",\n{indent}  \"suggestion\": \"{}\"", esc(s));
+    }
+    let _ = write!(out, "\n{indent}}}");
+    out
+}
+
+/// Renders the full machine-readable report.
+pub fn render_json(files_scanned: usize, res: &Resolution) -> String {
+    let mut out = String::from("{\n  \"schema\": \"amud-analyze/1\",\n");
+    let _ = writeln!(out, "  \"files_scanned\": {files_scanned},");
+
+    out.push_str("  \"summary\": {");
+    let summary = summary_counts(res);
+    let mut first = true;
+    for (rule, [fresh, regressions, baselined]) in &summary {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(
+            out,
+            "\n    \"{rule}\": {{ \"fresh\": {fresh}, \"regressions\": {regressions}, \"baselined\": {baselined} }}"
+        );
+    }
+    out.push_str(if summary.is_empty() { "},\n" } else { "\n  },\n" });
+
+    out.push_str("  \"violations\": [");
+    let mut first = true;
+    for (v, class) in res
+        .fresh
+        .iter()
+        .map(|v| (v, "fresh"))
+        .chain(res.regressions.iter().map(|v| (v, "regression")))
+    {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        out.push('\n');
+        out.push_str(&violation_json(v, class, "    "));
+    }
+    out.push_str(if res.fresh.is_empty() && res.regressions.is_empty() {
+        "],\n"
+    } else {
+        "\n  ],\n"
+    });
+
+    out.push_str("  \"notes\": [");
+    let mut first = true;
+    for n in &res.notes {
+        if !first {
+            out.push(',');
+        }
+        first = false;
+        let _ = write!(out, "\n    \"{}\"", esc(n));
+    }
+    out.push_str(if res.notes.is_empty() { "]\n" } else { "\n  ]\n" });
+    out.push_str("}\n");
+    out
+}
+
+/// Per-rule `[fresh, regressions, baselined]` counts, sorted by rule name.
+pub fn summary_counts(res: &Resolution) -> BTreeMap<String, [usize; 3]> {
+    let mut map: BTreeMap<String, [usize; 3]> = BTreeMap::new();
+    for v in &res.fresh {
+        map.entry(v.rule.name().to_string()).or_default()[0] += 1;
+    }
+    for v in &res.regressions {
+        map.entry(v.rule.name().to_string()).or_default()[1] += 1;
+    }
+    for (rule, n) in &res.baselined {
+        map.entry(rule.clone()).or_default()[2] += n;
+    }
+    map
+}
+
+/// The human summary printed after a run.
+pub fn render_summary(files_scanned: usize, res: &Resolution) -> String {
+    let mut out = String::new();
+    let summary = summary_counts(res);
+    for (rule, [fresh, regressions, baselined]) in &summary {
+        let _ = writeln!(
+            out,
+            "  {rule:<26} fresh {fresh:>3}   regressions {regressions:>3}   baselined {baselined:>3}"
+        );
+    }
+    let _ = writeln!(
+        out,
+        "amud-analyze: {files_scanned} file(s), {} fresh violation(s), {} regression(s), {} baselined, {} note(s)",
+        res.fresh.len(),
+        res.regressions.len(),
+        res.baselined.values().sum::<usize>(),
+        res.notes.len()
+    );
+    out
+}

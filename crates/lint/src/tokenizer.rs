@@ -1,0 +1,441 @@
+//! A real Rust tokenizer (std-only) — the foundation of `amud-analyze`.
+//!
+//! The line-regex scanner this replaced could not tell a `panic!` inside a
+//! string literal from one in code, nor see where an `unsafe` block ends.
+//! This lexer produces a faithful token stream — strings (plain, raw,
+//! byte), char literals vs lifetimes, nested block comments, numeric
+//! literals with exponents, multi-char operators — over which the analysis
+//! passes do *structural* matching (brace-matched item extraction,
+//! closure-body spans) instead of line grepping.
+//!
+//! The tokenizer is deliberately lossless about position: every token
+//! carries its 1-based line and column, so diagnostics anchor to
+//! `file:line:col` exactly.
+
+/// Lexical class of a token.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (including raw identifiers like `r#fn`).
+    Ident,
+    /// A lifetime such as `'a` or `'static` (leading quote included).
+    Lifetime,
+    /// Character or byte literal: `'x'`, `'\n'`, `b'0'`.
+    CharLit,
+    /// String or byte-string literal: `"…"`, `b"…"` (quotes included).
+    StrLit,
+    /// Raw (byte-)string literal: `r"…"`, `r#"…"#`, `br#"…"#`.
+    RawStrLit,
+    /// Numeric literal: `42`, `0xcbf2_9ce4`, `1.0e-5`, `0.21f32`.
+    NumLit,
+    /// `//`-to-end-of-line comment (doc comments included).
+    LineComment,
+    /// `/* … */` comment, nesting handled (doc comments included).
+    BlockComment,
+    /// Punctuation / operator, multi-char operators lexed as one token
+    /// (`::`, `->`, `+=`, `..=`, …).
+    Punct,
+}
+
+/// One lexed token with its source text and 1-based position.
+#[derive(Debug, Clone)]
+pub struct Tok {
+    pub kind: TokKind,
+    pub text: String,
+    pub line: u32,
+    pub col: u32,
+}
+
+impl Tok {
+    /// Whether this token participates in code (comments do not).
+    pub fn is_code(&self) -> bool {
+        !matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// Whether this is a `Punct` token with exactly this text.
+    pub fn is_punct(&self, text: &str) -> bool {
+        self.kind == TokKind::Punct && self.text == text
+    }
+
+    /// Whether this is an `Ident` token with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+}
+
+/// Multi-char operators, longest first so maximal munch is a linear scan.
+const MULTI_PUNCT: &[&str] = &[
+    "<<=", ">>=", "..=", "...", "::", "->", "=>", "==", "!=", "<=", ">=", "&&", "||", "<<", ">>",
+    "+=", "-=", "*=", "/=", "%=", "^=", "&=", "|=", "..",
+];
+
+struct Lexer {
+    chars: Vec<char>,
+    pos: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Lexer {
+    fn peek(&self, ahead: usize) -> Option<char> {
+        self.chars.get(self.pos + ahead).copied()
+    }
+
+    /// Consumes one char, tracking line/col.
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.pos).copied()?;
+        self.pos += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_into(&mut self, buf: &mut String) {
+        if let Some(c) = self.bump() {
+            buf.push(c);
+        }
+    }
+
+    /// Consumes a quoted span until the unescaped `quote` char (or EOF).
+    fn quoted(&mut self, quote: char, buf: &mut String) {
+        while let Some(c) = self.peek(0) {
+            if c == '\\' {
+                self.bump_into(buf);
+                self.bump_into(buf); // the escaped char, even if it is `quote`
+                continue;
+            }
+            self.bump_into(buf);
+            if c == quote {
+                return;
+            }
+        }
+    }
+
+    /// Consumes a raw string body: `#…#"…"#…#` with `hashes` delimiters.
+    /// The opening hashes/quote have *not* been consumed yet.
+    fn raw_string(&mut self, buf: &mut String) {
+        let mut hashes = 0usize;
+        while self.peek(0) == Some('#') {
+            self.bump_into(buf);
+            hashes += 1;
+        }
+        if self.peek(0) != Some('"') {
+            return; // `r#ident` handled by the caller; nothing to do here
+        }
+        self.bump_into(buf); // opening quote
+        loop {
+            match self.peek(0) {
+                None => return,
+                Some('"') => {
+                    self.bump_into(buf);
+                    let mut seen = 0usize;
+                    while seen < hashes && self.peek(0) == Some('#') {
+                        self.bump_into(buf);
+                        seen += 1;
+                    }
+                    if seen == hashes {
+                        return;
+                    }
+                }
+                Some(_) => self.bump_into(buf),
+            }
+        }
+    }
+
+    /// Whether the chars at `pos` start a raw string (after an `r`/`br`
+    /// prefix already peeked by the caller): zero or more `#` then `"`.
+    fn raw_string_follows(&self, mut ahead: usize) -> bool {
+        while self.peek(ahead) == Some('#') {
+            ahead += 1;
+        }
+        self.peek(ahead) == Some('"')
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c.is_alphabetic() || c == '_'
+}
+
+fn is_ident_continue(c: char) -> bool {
+    c.is_alphanumeric() || c == '_'
+}
+
+/// Tokenizes Rust source. The lexer never fails: malformed input degrades
+/// to best-effort punctuation tokens, which is the right behaviour for a
+/// linter that must not crash on the code it is criticising.
+pub fn tokenize(src: &str) -> Vec<Tok> {
+    let mut lx = Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1 };
+    let mut toks = Vec::new();
+
+    'outer: while let Some(c) = lx.peek(0) {
+        let (line, col) = (lx.line, lx.col);
+        let mut text = String::new();
+
+        // Whitespace.
+        if c.is_whitespace() {
+            lx.bump();
+            continue;
+        }
+
+        // Comments.
+        if c == '/' && lx.peek(1) == Some('/') {
+            while let Some(n) = lx.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                lx.bump_into(&mut text);
+            }
+            toks.push(Tok { kind: TokKind::LineComment, text, line, col });
+            continue;
+        }
+        if c == '/' && lx.peek(1) == Some('*') {
+            lx.bump_into(&mut text);
+            lx.bump_into(&mut text);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (lx.peek(0), lx.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        lx.bump_into(&mut text);
+                        lx.bump_into(&mut text);
+                        depth += 1;
+                    }
+                    (Some('*'), Some('/')) => {
+                        lx.bump_into(&mut text);
+                        lx.bump_into(&mut text);
+                        depth -= 1;
+                    }
+                    (Some(_), _) => lx.bump_into(&mut text),
+                    (None, _) => break,
+                }
+            }
+            toks.push(Tok { kind: TokKind::BlockComment, text, line, col });
+            continue;
+        }
+
+        // Lifetimes vs char literals.
+        if c == '\'' {
+            // `'\…'` is always a char literal; `'x'` (any single char then a
+            // quote) likewise; everything else (`'a`, `'static`) a lifetime.
+            let is_char =
+                lx.peek(1) == Some('\\') || (lx.peek(2) == Some('\'') && lx.peek(1) != Some('\''));
+            lx.bump_into(&mut text); // the opening quote
+            if is_char {
+                lx.quoted('\'', &mut text);
+                toks.push(Tok { kind: TokKind::CharLit, text, line, col });
+            } else {
+                while let Some(n) = lx.peek(0) {
+                    if !is_ident_continue(n) {
+                        break;
+                    }
+                    lx.bump_into(&mut text);
+                }
+                toks.push(Tok { kind: TokKind::Lifetime, text, line, col });
+            }
+            continue;
+        }
+
+        // String-ish prefixes: r"", r#""#, b"", br#""#, b'', and raw idents.
+        if is_ident_start(c) {
+            let raw = match c {
+                'r' if lx.raw_string_follows(1) => true,
+                'b' if lx.peek(1) == Some('r') && lx.raw_string_follows(2) => {
+                    lx.bump_into(&mut text); // the `b`
+                    true
+                }
+                _ => false,
+            };
+            if raw {
+                lx.bump_into(&mut text); // the `r`
+                lx.raw_string(&mut text);
+                toks.push(Tok { kind: TokKind::RawStrLit, text, line, col });
+                continue;
+            }
+            if c == 'b' && lx.peek(1) == Some('"') {
+                lx.bump_into(&mut text);
+                lx.bump_into(&mut text);
+                lx.quoted('"', &mut text);
+                toks.push(Tok { kind: TokKind::StrLit, text, line, col });
+                continue;
+            }
+            if c == 'b' && lx.peek(1) == Some('\'') {
+                lx.bump_into(&mut text);
+                lx.bump_into(&mut text);
+                lx.quoted('\'', &mut text);
+                toks.push(Tok { kind: TokKind::CharLit, text, line, col });
+                continue;
+            }
+            // Raw identifier `r#ident`.
+            if c == 'r' && lx.peek(1) == Some('#') && lx.peek(2).is_some_and(is_ident_start) {
+                lx.bump_into(&mut text);
+                lx.bump_into(&mut text);
+            }
+            while let Some(n) = lx.peek(0) {
+                if !is_ident_continue(n) {
+                    break;
+                }
+                lx.bump_into(&mut text);
+            }
+            toks.push(Tok { kind: TokKind::Ident, text, line, col });
+            continue;
+        }
+
+        // Plain strings.
+        if c == '"' {
+            lx.bump_into(&mut text);
+            lx.quoted('"', &mut text);
+            toks.push(Tok { kind: TokKind::StrLit, text, line, col });
+            continue;
+        }
+
+        // Numbers (incl. `1.0`, `1e-5`, `0xff_u32`; `0..n` must not eat `..`).
+        if c.is_ascii_digit() {
+            lx.bump_into(&mut text);
+            loop {
+                match lx.peek(0) {
+                    Some(n) if is_ident_continue(n) => {
+                        lx.bump_into(&mut text);
+                        // Exponent sign: `1e-5`, `2.5E+10`.
+                        if (n == 'e' || n == 'E')
+                            && !text.starts_with("0x")
+                            && matches!(lx.peek(0), Some('+') | Some('-'))
+                            && lx.peek(1).is_some_and(|d| d.is_ascii_digit())
+                        {
+                            lx.bump_into(&mut text);
+                        }
+                    }
+                    Some('.')
+                        if lx.peek(1).is_some_and(|d| d.is_ascii_digit())
+                            && !text.contains('.') =>
+                    {
+                        lx.bump_into(&mut text);
+                    }
+                    _ => break,
+                }
+            }
+            toks.push(Tok { kind: TokKind::NumLit, text, line, col });
+            continue;
+        }
+
+        // Multi-char operators (maximal munch), then single punctuation.
+        for op in MULTI_PUNCT {
+            if op.chars().enumerate().all(|(i, oc)| lx.peek(i) == Some(oc)) {
+                for _ in 0..op.len() {
+                    lx.bump_into(&mut text);
+                }
+                toks.push(Tok { kind: TokKind::Punct, text, line, col });
+                continue 'outer;
+            }
+        }
+        lx.bump_into(&mut text);
+        toks.push(Tok { kind: TokKind::Punct, text, line, col });
+    }
+    toks
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn strings_hide_their_contents_from_code() {
+        let toks = kinds(r#"let s = "panic! .unwrap() unsafe";"#);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::StrLit && t.contains("panic!")));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn raw_strings_with_hashes_and_quotes() {
+        let src = r##"let s = r#"a "quoted" \ thing"#; let t = 1;"##;
+        let toks = kinds(src);
+        let raw = toks.iter().find(|(k, _)| *k == TokKind::RawStrLit).expect("raw string");
+        assert!(raw.1.contains("quoted"));
+        // Lexing resumes correctly after the raw string.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "t"));
+    }
+
+    #[test]
+    fn byte_and_byte_raw_strings() {
+        let toks = kinds(r###"let a = b"bytes"; let b = br#"raw"#; let c = b'x';"###);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::StrLit && t.starts_with("b\"")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::RawStrLit && t.starts_with("br#")));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t == "b'x'"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> &'static str { 'x' }");
+        let lifetimes: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::Lifetime).map(|(_, t)| t.clone()).collect();
+        assert_eq!(lifetimes, vec!["'a", "'a", "'static"]);
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::CharLit && t == "'x'"));
+    }
+
+    #[test]
+    fn escaped_char_literals() {
+        let toks = kinds(r"let a = '\''; let b = '\n'; let c = '\u{1F600}';");
+        let chars: Vec<_> =
+            toks.iter().filter(|(k, _)| *k == TokKind::CharLit).map(|(_, t)| t.clone()).collect();
+        assert_eq!(chars.len(), 3, "chars: {chars:?}");
+    }
+
+    #[test]
+    fn nested_block_comments() {
+        let toks = kinds("a /* outer /* inner */ still comment */ b");
+        assert_eq!(toks.len(), 3);
+        assert_eq!(toks[1].0, TokKind::BlockComment);
+        assert!(toks[1].1.contains("still comment"));
+        assert_eq!(toks[2].1, "b");
+    }
+
+    #[test]
+    fn numbers_do_not_eat_ranges_or_methods() {
+        let toks = kinds("for i in 0..n { let x = 1.max(2); let y = 1.5e-3f32; }");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == ".."));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "max"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::NumLit && t == "1.5e-3f32"));
+    }
+
+    #[test]
+    fn hex_literals_with_underscores() {
+        let toks = kinds("const P: u64 = 0xcbf2_9ce4_8422_2325;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::NumLit && t == "0xcbf2_9ce4_8422_2325"));
+    }
+
+    #[test]
+    fn compound_operators_lex_as_one_token() {
+        let toks = kinds("a += b; c ..= d; e :: f; g -> h");
+        for op in ["+=", "..=", "::", "->"] {
+            assert!(toks.iter().any(|(k, t)| *k == TokKind::Punct && t == op), "missing {op}");
+        }
+    }
+
+    #[test]
+    fn raw_identifiers() {
+        let toks = kinds("let r#fn = 1; let r = 2;");
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r#fn"));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "r"));
+    }
+
+    #[test]
+    fn positions_are_one_based_lines_and_cols() {
+        let toks = tokenize("ab\n  cd");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn doc_comments_are_comments() {
+        let toks = tokenize("/// doc\n//! inner\n/** block doc */\nfn f() {}");
+        assert_eq!(toks[0].kind, TokKind::LineComment);
+        assert_eq!(toks[1].kind, TokKind::LineComment);
+        assert_eq!(toks[2].kind, TokKind::BlockComment);
+        assert!(toks[3].is_ident("fn"));
+    }
+}

@@ -1,0 +1,109 @@
+//! Subprocess tests pinning the `amud-lint` exit-code table:
+//!
+//! | code | meaning                                   |
+//! |------|-------------------------------------------|
+//! | 0    | clean (baselined debt only)               |
+//! | 1    | fresh rule violation                      |
+//! | 2    | usage error (unknown flag, bad baseline)  |
+//! | 3    | ratchet regression (budgeted count rose)  |
+//! | 4    | internal error (unreadable input)         |
+//!
+//! Mirrors the PR 2 exit-code table for the training binary: every failure
+//! class is distinguishable by a shell script without parsing output.
+
+use std::path::{Path, PathBuf};
+use std::process::{Command, Output};
+
+fn run(args: &[&str]) -> Output {
+    Command::new(env!("CARGO_BIN_EXE_amud-lint")).args(args).output().expect("spawn amud-lint")
+}
+
+fn fixture(name: &str) -> String {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures").join(name).to_string_lossy().into_owned()
+}
+
+/// A scratch dir unique to this test process.
+fn scratch() -> PathBuf {
+    let dir = std::env::temp_dir().join(format!("amud-lint-cli-{}", std::process::id()));
+    std::fs::create_dir_all(&dir).expect("create scratch dir");
+    dir
+}
+
+#[test]
+fn exit_0_on_clean_file_and_report_is_written() {
+    let report = scratch().join("clean-report.json");
+    let out = run(&["--report", report.to_str().expect("utf8 path"), &fixture("clean.rs")]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let json = std::fs::read_to_string(&report).expect("report written");
+    assert!(json.contains("\"schema\": \"amud-analyze/1\""));
+    assert!(json.contains("\"files_scanned\": 1"));
+}
+
+#[test]
+fn exit_1_on_fresh_violation() {
+    let out = run(&[&fixture("bad.rs")]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("unwrap-ratchet"));
+    assert!(stdout.contains("raw-thread-spawn"));
+}
+
+#[test]
+fn exit_2_on_unknown_flag() {
+    let out = run(&["--frobnicate"]);
+    assert_eq!(out.status.code(), Some(2));
+    assert!(String::from_utf8_lossy(&out.stderr).contains("unknown flag"));
+}
+
+#[test]
+fn exit_3_on_ratchet_regression() {
+    // Two unwraps against an explicit budget of 1: the (rule, file) pair is
+    // known to the baseline, so this is a regression, not a fresh finding.
+    let dir = scratch();
+    let src = dir.join("regressed.rs");
+    std::fs::write(
+        &src,
+        "pub fn f(a: Option<u8>, b: Option<u8>) -> u8 {\n    a.unwrap() + b.unwrap()\n}\n",
+    )
+    .expect("write fixture");
+    let label = src.to_string_lossy().replace('\\', "/");
+    let baseline = dir.join("baseline.txt");
+    std::fs::write(&baseline, format!("unwrap-ratchet {label} 1 # pinned by cli test\n"))
+        .expect("write baseline");
+
+    let out = run(&["--baseline", baseline.to_str().expect("utf8"), src.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(3), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    assert!(String::from_utf8_lossy(&out.stdout).contains("ratchet only goes down"));
+
+    // The same file under a budget of 2 is clean (baselined debt).
+    std::fs::write(&baseline, format!("unwrap-ratchet {label} 2\n")).expect("rewrite baseline");
+    let out = run(&["--baseline", baseline.to_str().expect("utf8"), src.to_str().expect("utf8")]);
+    assert_eq!(out.status.code(), Some(0));
+}
+
+#[test]
+fn exit_4_on_unreadable_baseline() {
+    let out = run(&["--baseline", "/nonexistent/amud-baseline.txt", &fixture("clean.rs")]);
+    assert_eq!(out.status.code(), Some(4));
+}
+
+#[test]
+fn violation_beats_regression_when_both_present() {
+    // One file regresses its budget while another has an unbaselined
+    // violation: the fresh violation (exit 1) wins.
+    let dir = scratch();
+    let regressed = dir.join("both-regressed.rs");
+    std::fs::write(&regressed, "pub fn f(a: Option<u8>) -> u8 { a.unwrap() + a.unwrap() }\n")
+        .expect("write fixture");
+    let label = regressed.to_string_lossy().replace('\\', "/");
+    let baseline = dir.join("both-baseline.txt");
+    std::fs::write(&baseline, format!("unwrap-ratchet {label} 1\n")).expect("write baseline");
+
+    let out = run(&[
+        "--baseline",
+        baseline.to_str().expect("utf8"),
+        regressed.to_str().expect("utf8"),
+        &fixture("bad.rs"),
+    ]);
+    assert_eq!(out.status.code(), Some(1), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+}

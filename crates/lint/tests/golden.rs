@@ -1,0 +1,149 @@
+//! Golden `analyze-report.json` snapshots — one per analysis pass — plus
+//! tokenizer assertions over the stress corpus.
+//!
+//! Each test runs the engine over a seeded fixture under a label that
+//! selects the pass, resolves against an empty baseline, renders the JSON
+//! report, and compares it byte-for-byte to `fixtures/golden/<name>.json`.
+//! Regenerate after an intentional diagnostic change with:
+//!
+//! ```text
+//! BLESS_GOLDEN=1 cargo test -p amud-lint --test golden
+//! ```
+
+use amud_lint::tokenizer::{tokenize, TokKind};
+use amud_lint::{analyze_source, report, resolve, Baseline, RuleKind};
+use std::collections::BTreeSet;
+use std::path::{Path, PathBuf};
+
+fn fixtures_dir() -> PathBuf {
+    Path::new(env!("CARGO_MANIFEST_DIR")).join("fixtures")
+}
+
+fn fixture(name: &str) -> String {
+    let path = fixtures_dir().join(name);
+    std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
+}
+
+/// Analyzes `fixture_name` under `label`, checks the pass fired exactly
+/// where expected, and snapshots the rendered report.
+fn golden_check(fixture_name: &str, label: &str, rule: RuleKind, expect_fresh: usize) {
+    let src = fixture(fixture_name);
+    let violations = analyze_source(label, &src);
+    let scanned: BTreeSet<String> = [label.to_string()].into();
+    let res = resolve(violations, &scanned, &Baseline::default());
+
+    let fired = res.fresh.iter().filter(|v| v.rule == rule).count();
+    assert_eq!(
+        fired,
+        expect_fresh,
+        "{fixture_name}: expected {expect_fresh} {} finding(s), got {fired}: {:#?}",
+        rule.name(),
+        res.fresh
+    );
+
+    let json = report::render_json(1, &res);
+    let golden_path = fixtures_dir()
+        .join("golden")
+        .join(format!("{}.json", fixture_name.trim_end_matches(".rs")));
+    if std::env::var("BLESS_GOLDEN").is_ok() {
+        std::fs::write(&golden_path, &json)
+            .unwrap_or_else(|e| panic!("write {}: {e}", golden_path.display()));
+        return;
+    }
+    let expected = std::fs::read_to_string(&golden_path).unwrap_or_else(|e| {
+        panic!(
+            "read {}: {e} — regenerate with BLESS_GOLDEN=1 cargo test -p amud-lint --test golden",
+            golden_path.display()
+        )
+    });
+    assert_eq!(
+        json, expected,
+        "{fixture_name}: report drifted from its golden snapshot; if the change is \
+         intentional, regenerate with BLESS_GOLDEN=1"
+    );
+}
+
+#[test]
+fn unsafe_contract_pass_golden() {
+    // 3 contract-quality findings + 1 raw-pointer confinement finding.
+    golden_check("unsafe_contract.rs", "crates/train/src/fixture.rs", RuleKind::UnsafeContract, 4);
+}
+
+#[test]
+fn float_determinism_pass_golden() {
+    // .sum, .fold, and a bare `acc +=` inside the par closure.
+    golden_check(
+        "float_determinism.rs",
+        "crates/train/src/fixture.rs",
+        RuleKind::FloatDeterminism,
+        3,
+    );
+}
+
+#[test]
+fn cache_key_pass_golden() {
+    // `incomplete` drops conv_r; `complete` and `exempted` stay silent.
+    golden_check("cache_key.rs", "crates/cache/src/fixture.rs", RuleKind::CacheKeyCompleteness, 1);
+}
+
+#[test]
+fn concurrency_pass_golden() {
+    // Mutex::new + AtomicU64::new (the fixture's thread::spawn additionally
+    // trips raw-thread-spawn, captured in the same snapshot).
+    golden_check(
+        "concurrency.rs",
+        "crates/train/src/fixture.rs",
+        RuleKind::ConcurrencyDiscipline,
+        2,
+    );
+}
+
+#[test]
+fn clean_fixture_is_clean_everywhere() {
+    let src = fixture("clean.rs");
+    for label in
+        ["crates/core/src/fixture.rs", "crates/nn/src/fixture.rs", "crates/train/src/fixture.rs"]
+    {
+        let vs = analyze_source(label, &src);
+        assert!(vs.is_empty(), "clean.rs under {label}: {vs:#?}");
+    }
+}
+
+#[test]
+fn tokenizer_handles_the_stress_corpus() {
+    let toks = tokenize(&fixture("tokens.rs"));
+
+    // The macro-body `unsafe` is a real identifier token…
+    assert!(toks.iter().any(|t| t.is_ident("unsafe")), "unsafe inside macro body is lexed");
+    // …while every rule keyword inside the raw string stays string content.
+    let idents: Vec<&str> =
+        toks.iter().filter(|t| t.kind == TokKind::Ident).map(|t| t.text.as_str()).collect();
+    assert!(!idents.contains(&"Mutex"), "raw-string contents must not lex as identifiers");
+    assert!(
+        toks.iter().any(|t| t.kind == TokKind::RawStrLit && t.text.contains(".unwrap()")),
+        "raw string captured verbatim"
+    );
+
+    // Nested block comment is one token.
+    assert!(toks
+        .iter()
+        .any(|t| t.kind == TokKind::BlockComment && t.text.contains("still one comment")));
+
+    // Lifetimes vs char literals.
+    assert!(toks.iter().any(|t| t.kind == TokKind::Lifetime && t.text == "'a"));
+    assert!(toks.iter().any(|t| t.kind == TokKind::CharLit && t.text == "'x'"));
+    assert!(toks.iter().any(|t| t.kind == TokKind::CharLit && t.text == r"'\''"));
+
+    // Numbers keep exponents but release `..` and method calls.
+    assert!(toks.iter().any(|t| t.kind == TokKind::NumLit && t.text == "1.5e-3f32"));
+    assert!(toks.iter().any(|t| t.is_punct("..")));
+    assert!(toks.iter().any(|t| t.is_ident("max")));
+
+    // The analysis itself must not fire on the corpus decoys: the only
+    // findings are the macro's contract-less `unsafe` (by design).
+    let vs = analyze_source("crates/train/src/fixture.rs", &fixture("tokens.rs"));
+    assert!(
+        vs.iter().all(|v| v.rule == RuleKind::UnsafeContract),
+        "decoys must not trip token-level rules: {vs:#?}"
+    );
+}

@@ -204,12 +204,7 @@ impl DenseMatrix {
             for (out_row, i) in block.chunks_exact_mut(other.rows).zip(rows) {
                 let a_row = self.row(i);
                 for (j, o) in out_row.iter_mut().enumerate() {
-                    let b_row = other.row(j);
-                    let mut acc = 0.0f32;
-                    for (&a, &b) in a_row.iter().zip(b_row) {
-                        acc += a * b;
-                    }
-                    *o = acc;
+                    *o = amud_par::ordered_dot(a_row, other.row(j));
                 }
             }
         });
@@ -448,7 +443,7 @@ impl DenseMatrix {
     pub fn l2_normalize_rows(&self) -> DenseMatrix {
         let mut out = self.clone();
         out.par_rows_mut(|_, row| {
-            let norm = row.iter().map(|&x| x * x).sum::<f32>().sqrt();
+            let norm = amud_par::ordered_dot(row, row).sqrt();
             if norm > 1e-12 {
                 for x in row {
                     *x /= norm;

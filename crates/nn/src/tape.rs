@@ -672,7 +672,7 @@ impl Tape {
                 dx.par_rows_mut(|r, drow| {
                     let yr = y.row(r);
                     let gr = grad.row(r);
-                    let dot: f32 = yr.iter().zip(gr).map(|(&s, &g)| s * g).sum();
+                    let dot = amud_par::ordered_dot(yr, gr);
                     for ((d, &s), &g) in drow.iter_mut().zip(yr).zip(gr) {
                         *d = s * (g - dot);
                     }

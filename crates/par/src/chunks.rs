@@ -22,12 +22,17 @@ impl<T> SendPtr<T> {
     }
 }
 
-// The pointer is only used to reconstruct non-overlapping sub-slices,
-// one per task, while the owning `&mut [T]` is exclusively borrowed by
-// the enclosing call — see `par_row_blocks_mut`.
-// SAFETY: disjoint writes through an exclusively borrowed buffer.
+// SAFETY: `SendPtr` crosses threads only so each task can reconstruct its
+// own output block. Every slice derived from it covers a row range the
+// ascending-range validation in `par_row_blocks_mut` proved disjoint from
+// all others, and the owning `&mut [T]` stays exclusively borrowed by
+// that call until every task has returned — so moving the pointer to
+// another thread can never create an aliasing access.
 unsafe impl<T: Send> Send for SendPtr<T> {}
-// SAFETY: as above; tasks never touch the same element.
+// SAFETY: sharing `SendPtr` between tasks is sound for the same reason it
+// may move: tasks only derive pairwise-disjoint sub-slices from the base
+// pointer (validated by `par_row_blocks_mut`), so concurrent use never
+// aliases an element of the exclusively borrowed buffer.
 unsafe impl<T: Send> Sync for SendPtr<T> {}
 
 /// Runs `f(part, rows, block)` for every row-range in `parts`, in
@@ -61,10 +66,11 @@ where
         let rows = parts[p].clone();
         let len = (rows.end - rows.start) * stride;
         let start = base.get().wrapping_add(rows.start * stride);
-        // The ranges were validated disjoint and in-bounds above, `run`
-        // hands each part index to exactly one task, and `run` returns
-        // before `data`'s exclusive borrow ends.
-        // SAFETY: each task holds the only live reference to its block.
+        // SAFETY: `start`/`len` delimit exactly rows `rows` of `data`,
+        // which the ascending-range assertions above proved in-bounds and
+        // disjoint from every other task's block; `pool::run` gives part
+        // `p` to exactly one task and returns before `data`'s exclusive
+        // borrow ends, so this is the only live reference into the block.
         let block = unsafe { std::slice::from_raw_parts_mut(start, len) };
         f(p, rows, block);
     });
@@ -136,6 +142,7 @@ mod tests {
 
     #[test]
     #[should_panic(expected = "exceed the buffer")]
+    #[allow(clippy::single_range_in_vec_init)]
     fn oversized_ranges_are_rejected() {
         let mut data = vec![0u8; 10];
         par_row_blocks_mut(&mut data, 4, &[0..3], |_, _, _| {});

@@ -1,0 +1,68 @@
+//! Ordered floating-point reductions — the *approved* folds for parallel
+//! kernels.
+//!
+//! f32 addition is not associative, so the bit-identity contract (lib.rs,
+//! property 3) requires every reduction to run in one fixed order. These
+//! helpers are that order, written down once: a plain ascending-index
+//! scalar loop, exactly the sequence `iter().sum()` / a serial `acc +=`
+//! loop would produce. Kernels outside this crate must reduce through
+//! these (the `float-determinism` pass in `amud-lint` enforces it), so a
+//! refactor cannot silently introduce a reassociated — and therefore
+//! thread-count-dependent — accumulation.
+
+/// Sum of a slice in ascending index order.
+///
+/// Bit-identical to `xs.iter().sum::<f32>()`: one scalar accumulation per
+/// element, no pairwise or SIMD reassociation, starting from `0.0`.
+pub fn ordered_sum(xs: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    for &x in xs {
+        acc += x;
+    }
+    acc
+}
+
+/// Dot product of two slices in ascending index order.
+///
+/// Bit-identical to the serial kernel loop `for i { acc += a[i] * b[i] }`.
+/// Trailing elements of the longer slice are ignored (the kernels always
+/// pass equal lengths; zip semantics keep the helper total).
+pub fn ordered_dot(a: &[f32], b: &[f32]) -> f32 {
+    let mut acc = 0.0f32;
+    let n = a.len().min(b.len());
+    for i in 0..n {
+        acc += a[i] * b[i];
+    }
+    acc
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn ordered_sum_matches_iterator_sum_bitwise() {
+        // Values chosen so reassociation would change the result.
+        let xs: Vec<f32> =
+            (0..1000).map(|i| ((i * 2654435761u64 as usize) as f32).sin() * 1e3).collect();
+        let reference: f32 = xs.iter().sum();
+        assert_eq!(ordered_sum(&xs).to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn ordered_dot_matches_serial_loop_bitwise() {
+        let a: Vec<f32> = (0..777).map(|i| (i as f32 * 0.37).cos()).collect();
+        let b: Vec<f32> = (0..777).map(|i| (i as f32 * 1.91).sin()).collect();
+        let mut reference = 0.0f32;
+        for (&x, &y) in a.iter().zip(&b) {
+            reference += x * y;
+        }
+        assert_eq!(ordered_dot(&a, &b).to_bits(), reference.to_bits());
+    }
+
+    #[test]
+    fn unequal_lengths_use_the_shorter() {
+        assert_eq!(ordered_dot(&[1.0, 2.0, 3.0], &[2.0]), 2.0);
+        assert_eq!(ordered_sum(&[]), 0.0);
+    }
+}

@@ -52,10 +52,12 @@
 //! this runtime and inherits the determinism contract.
 
 mod chunks;
+mod fold;
 mod partition;
 mod pool;
 
 pub use chunks::{par_chunks_mut, par_row_blocks_mut};
+pub use fold::{ordered_dot, ordered_sum};
 pub use partition::{split_by_weight, split_even};
 pub use pool::{pool, run, ThreadPool};
 

@@ -36,8 +36,11 @@ struct RawJob {
     worker_cap: usize,
 }
 
-// The pointee is `Sync`, so shared calls from several threads are fine.
-// SAFETY: `run` keeps the closure alive for the whole job (see above).
+// SAFETY: `RawJob` may cross to worker threads because `func` points at a
+// `Sync` closure (shared calls from several threads are fine) that `run`
+// keeps borrowed — and therefore alive — until the drain loop has seen
+// every joined worker leave the job, so the pointer outlives every
+// dereference a worker can make.
 unsafe impl Send for RawJob {}
 
 struct State {
@@ -139,10 +142,10 @@ impl ThreadPool {
         self.ensure_workers(participants - 1);
         let _turn = lock(&self.driver);
         let func: &(dyn Fn(usize) + Sync) = &f;
-        // Pure lifetime erasure of a fat pointer: the drain loop below
-        // keeps `f` borrowed until every worker that joined the job has
-        // left it.
-        // SAFETY: no dereference outlives the borrowed closure.
+        // SAFETY: pure lifetime erasure of the fat pointer `func` — same
+        // pointee, same vtable. The drain loop below keeps `f` borrowed
+        // until every worker that joined the job has left it, so no
+        // dereference of the erased pointer outlives the closure.
         let func: *const (dyn Fn(usize) + Sync) = unsafe { std::mem::transmute(func) };
         let job = RawJob { func, n_tasks, worker_cap: participants - 1 };
         {
@@ -208,10 +211,10 @@ fn worker_loop(shared: &Shared) {
                 st = shared.work_ready.wait(st).unwrap_or_else(PoisonError::into_inner);
             }
         };
-        // `run` blocks until `active` returns to zero, and we dereference
-        // only between our `active += 1` above and the matching
-        // `active -= 1` below.
-        // SAFETY: the borrowed closure is still alive at every deref.
+        // SAFETY: `job.func` still points at the closure borrowed by `run`:
+        // `run` blocks until `active` returns to zero, and this shared
+        // reborrow is used only between our `active += 1` above and the
+        // matching `active -= 1` below, so it cannot outlive the borrow.
         let f = unsafe { &*job.func };
         let result = catch_unwind(AssertUnwindSafe(|| loop {
             let i = shared.next_task.fetch_add(1, Ordering::Relaxed);
