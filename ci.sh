@@ -20,7 +20,16 @@ echo "==> amud-analyze (cargo run -p amud-lint)"
 cargo run --release -q -p amud-lint -- --report analyze-report.json
 
 echo "==> analyze-report.json summary"
-grep -A4 '"summary"' analyze-report.json || true
+grep -A14 '"summary"' analyze-report.json || true
+
+# The report is a deterministic artifact: no timestamps, sorted findings,
+# every rule listed (zero rows included). Two back-to-back runs over the
+# same tree must produce byte-identical JSON, or downstream report diffing
+# is meaningless.
+echo "==> analyze-report.json is deterministic"
+cargo run --release -q -p amud-lint -- --report analyze-report.second.json
+cmp analyze-report.json analyze-report.second.json
+rm -f analyze-report.second.json
 
 # The engine must analyze its own crate cleanly with zero budgets —
 # explicit-file mode grants none, so the linter cannot accumulate debt in
@@ -53,6 +62,13 @@ AMUD_THREADS=1 cargo test -q
 
 echo "==> AMUD_THREADS=4 cargo test -q"
 AMUD_THREADS=4 cargo test -q
+
+# Tier-1 again under the runtime disjointness sanitizer: every block the
+# parallel runtime hands out is shadow-recorded and checked for overlap
+# and cross-epoch retention, and the san-abuse suite proves the abort
+# path actually fires (see crates/par/tests/san.rs).
+echo "==> AMUD_THREADS=4 cargo test -q --workspace --features amud-par/san"
+AMUD_THREADS=4 cargo test -q --workspace --features amud-par/san
 
 # The fault-injection suite proves every injected failure is recovered or
 # surfaces as a typed error (and pins the CLI exit-code table).

@@ -34,6 +34,8 @@ struct KernelResult {
 /// Minimum wall-clock over `reps` runs (the standard noise filter for
 /// micro-benchmarks: the minimum is the least-perturbed observation).
 fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    // TAINT-PURE(best): the minimum wall-clock is reported alongside the
+    // closure's result; it is never fed back into a computed value.
     let mut best = f64::INFINITY;
     let mut out = f();
     for _ in 0..reps {

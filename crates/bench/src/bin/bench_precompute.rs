@@ -82,6 +82,8 @@ fn measure(
     let cache_before = amud_cache::stats();
     let t = Instant::now();
     let cells = amud_cache::with_cache(cached, || run_sweep(data, seeds, k_list, r_list, cfg));
+    // TAINT-PURE(wall_ms): pass wall-clock is a reporting field; the
+    // accuracy cells it rides beside are compared bitwise across passes.
     let wall_ms = t.elapsed().as_secs_f64() * 1e3;
     Pass {
         label,

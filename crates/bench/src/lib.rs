@@ -36,6 +36,8 @@ use amud_train::{repeat_runs, GraphData, Summary, TrainConfig};
 
 /// Replica scale from `AMUD_SCALE`.
 pub fn env_scale() -> ReplicaScale {
+    // TAINT-PURE(env_scale): AMUD_SCALE only selects among the fixed
+    // ReplicaScale presets; the env value itself never reaches data.
     match std::env::var("AMUD_SCALE").as_deref() {
         Ok("tiny") => ReplicaScale::tiny(),
         Ok("full") => ReplicaScale::full(),
@@ -45,11 +47,15 @@ pub fn env_scale() -> ReplicaScale {
 
 /// Repeats per experiment cell from `AMUD_REPEATS`.
 pub fn env_repeats(default: usize) -> usize {
+    // TAINT-PURE(env_repeats): a repeat count sizes the experiment loop;
+    // each repeat is seeded independently, so it never alters values.
     std::env::var("AMUD_REPEATS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 
 /// Training epochs from `AMUD_EPOCHS`.
 pub fn env_epochs(default: usize) -> usize {
+    // TAINT-PURE(env_epochs): an epoch budget only bounds the training
+    // loop; it never enters tensor values or cache keys.
     std::env::var("AMUD_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(default)
 }
 

@@ -42,6 +42,9 @@ use std::sync::OnceLock;
 /// `false` (case-insensitive) disable it; anything else — including unset —
 /// enables it. Read once, at first use.
 fn env_enabled() -> bool {
+    // TAINT-PURE(env_enabled): the gate only switches between the cached
+    // and uncached code paths, which are bit-identical by the determinism
+    // contract above (pinned by the precompute equivalence suite).
     static CACHE: OnceLock<bool> = OnceLock::new();
     *CACHE.get_or_init(|| match std::env::var("AMUD_CACHE") {
         Ok(v) => !matches!(v.trim().to_ascii_lowercase().as_str(), "off" | "0" | "false"),

@@ -195,15 +195,20 @@ impl DsbmConfig {
                 chosen.insert((u, v));
             }
         }
-        DiGraph::from_edges(n, chosen)
-            .expect("sampled nodes are in bounds")
-            .with_labels(labels, c)
-            .expect("labels cover all nodes")
+        let Ok(graph) = DiGraph::from_edges(n, chosen) else {
+            unreachable!("sampled endpoints come from `members`, which only holds ids < n")
+        };
+        let Ok(labelled) = graph.with_labels(labels, c) else {
+            unreachable!("labels were built as one entry per node with values < n_classes")
+        };
+        labelled
     }
 }
 
 fn sample_class_node<R: Rng>(nodes: &[usize], cdf: &[f64], rng: &mut R) -> usize {
-    let total = *cdf.last().expect("class is non-empty");
+    let Some(&total) = cdf.last() else {
+        unreachable!("every class block holds ≥ 2 nodes (asserted in generate)")
+    };
     let x: f64 = rng.gen_range(0.0..total);
     let idx = cdf.partition_point(|&cum| cum <= x).min(nodes.len() - 1);
     nodes[idx]

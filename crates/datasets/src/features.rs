@@ -53,7 +53,9 @@ pub fn gaussian_features<R: Rng>(
     signal: f32,
     rng: &mut R,
 ) -> DenseMatrix {
-    let normal = Normal::new(0.0f32, 1.0).expect("unit normal is valid");
+    let Ok(normal) = Normal::new(0.0f32, 1.0) else {
+        unreachable!("N(0, 1) has finite mean and positive std dev")
+    };
     let centroids: Vec<Vec<f32>> =
         (0..n_classes).map(|_| (0..dim).map(|_| normal.sample(rng)).collect()).collect();
     let mut out = DenseMatrix::zeros(labels.len(), dim);

@@ -137,7 +137,9 @@ impl Dataset {
             .with_topology_noise(spec.topology_noise)
             .with_degree_exponent(spec.degree_exponent)
             .generate(&mut rng);
-        let labels = graph.labels().expect("DSBM attaches labels").to_vec();
+        let Some(labels) = graph.labels().map(<[usize]>::to_vec) else {
+            unreachable!("DsbmConfig::generate always attaches labels via with_labels")
+        };
         let features = spec.features.generate(&labels, spec.n_classes, f, &mut rng);
         // Count-based splits from the paper can exceed a scaled-down node
         // count; shrink them proportionally while keeping at least one
@@ -169,7 +171,10 @@ impl Dataset {
     }
 
     pub fn labels(&self) -> &[usize] {
-        self.graph.labels().expect("replica graphs always carry labels")
+        let Some(labels) = self.graph.labels() else {
+            unreachable!("every Dataset constructor goes through DSBM, which attaches labels")
+        };
+        labels
     }
 
     /// The same dataset with the coarse undirected transformation applied.

@@ -1,0 +1,25 @@
+//! Seeded violation: non-deterministic sources flowing interprocedurally
+//! into determinism-sensitive sinks. Expected findings under the label
+//! `crates/train/src/fixture.rs`:
+//!   2 × determinism-taint
+//!     - wall-clock taint from `jitter` reaching an `ordered_sum` input
+//!     - env-var taint reaching the data argument of `from_vec`
+
+pub fn jitter() -> f32 {
+    let t = std::time::Instant::now().elapsed().as_nanos() as f32;
+    t * 1e-9
+}
+
+pub fn accumulate(xs: &[f32]) -> f32 {
+    let bias = jitter();
+    let noisy: Vec<f32> = xs.iter().map(|x| x + bias).collect();
+    ordered_sum(&noisy)
+}
+
+pub fn seed_matrix(n: usize) -> DenseMatrix {
+    let eps = match std::env::var("FIXTURE_EPS") {
+        Ok(v) => v.len() as f32,
+        Err(_) => 0.0,
+    };
+    DenseMatrix::from_vec(n, 1, vec![eps; n])
+}

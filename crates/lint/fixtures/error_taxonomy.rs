@@ -1,0 +1,12 @@
+//! Seeded violation: public fallible functions in a user-facing crate
+//! returning stringly-typed errors. Expected findings under the label
+//! `crates/datasets/src/fixture.rs`:
+//!   2 × error-taxonomy (`Result<_, String>` and `Result<_, Box<dyn Error>>`)
+
+pub fn load(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("read {path}: {e}"))
+}
+
+pub fn parse(text: &str) -> Result<usize, Box<dyn std::error::Error>> {
+    Ok(text.trim().len())
+}

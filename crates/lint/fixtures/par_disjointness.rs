@@ -1,0 +1,13 @@
+//! Seeded violation: ad-hoc block ranges fed to the parallel fan-out.
+//! This is the static twin of the `san-abuse overlap` mode in
+//! `crates/par/src/bin/san_abuse.rs` — hand-built ranges whose
+//! disjointness nothing proves. Expected findings under the label
+//! `crates/nn/src/fixture.rs`:
+//!   1 × par-disjointness (the `parts` vec derives from neither
+//!     `split_even`/`split_by_weight` nor a `// DISJOINT:` proof)
+
+pub fn scatter(data: &mut [f32]) {
+    let cut = data.len() / 2;
+    let parts = vec![0..cut, cut..data.len()];
+    par_row_blocks_mut(data, 1, &parts, |_, _, block| block.fill(0.0));
+}

@@ -76,9 +76,17 @@ fn first_body_brace(toks: &[Tok], mut i: usize) -> Option<usize> {
     None
 }
 
-/// Whether the attribute starting at `hash` (a `#` token) is exactly
-/// `#[cfg(test)]`; returns the index of the closing `]` when it is any
+/// Whether the attribute starting at `hash` (a `#` token) gates the item
+/// to test builds; returns the index of the closing `]` when it is any
 /// attribute at all.
+///
+/// A cfg attribute is test-gating when the ident `test` appears anywhere
+/// inside it **outside** a `not(...)` group — this covers `#[cfg(test)]`,
+/// `#[cfg(all(test, feature = "slow"))]` and `#[cfg(any(test, fuzzing))]`
+/// while leaving `#[cfg(not(test))]` live. (`any(test, …)` items are also
+/// compiled in non-test builds when the other arm holds; masking them is
+/// the conservative choice for a test-code detector — we would rather skip
+/// dual-use scaffolding than lint generated test harness code.)
 fn attr_span(toks: &[Tok], hash: usize) -> Option<(usize, bool)> {
     let open = next_code(toks, hash + 1)?;
     if !toks[open].is_punct("[") {
@@ -87,8 +95,39 @@ fn attr_span(toks: &[Tok], hash: usize) -> Option<(usize, bool)> {
     let close = match_delim(toks, open)?;
     let inner: Vec<&str> =
         toks[open + 1..close].iter().filter(|t| t.is_code()).map(|t| t.text.as_str()).collect();
-    let is_cfg_test = inner == ["cfg", "(", "test", ")"];
+    let is_cfg_test = inner.first() == Some(&"cfg") && cfg_mentions_live_test(&inner[1..]);
     Some((close, is_cfg_test))
+}
+
+/// Whether the token stream of a cfg predicate (everything after the `cfg`
+/// ident) contains the ident `test` at a position not nested inside a
+/// `not(...)` group.
+fn cfg_mentions_live_test(inner: &[&str]) -> bool {
+    // Depths (paren levels) at which a `not(` group opened; `test` counts
+    // only while no such group is on the stack.
+    let mut depth = 0usize;
+    let mut not_stack: Vec<usize> = Vec::new();
+    let mut i = 0;
+    while i < inner.len() {
+        match inner[i] {
+            "(" => {
+                if i > 0 && inner[i - 1] == "not" {
+                    not_stack.push(depth);
+                }
+                depth += 1;
+            }
+            ")" => {
+                depth = depth.saturating_sub(1);
+                if not_stack.last() == Some(&depth) {
+                    not_stack.pop();
+                }
+            }
+            "test" if not_stack.is_empty() => return true,
+            _ => {}
+        }
+        i += 1;
+    }
+    false
 }
 
 impl FileIndex {
@@ -436,6 +475,59 @@ mod tests {
             .map(|i| ix.toks[i].text.as_str())
             .collect();
         assert!(live.contains(&"live"), "cfg(not(test)) code is production code");
+    }
+
+    #[test]
+    fn cfg_all_and_any_with_test_are_masked() {
+        for src in [
+            "#[cfg(all(test, feature = \"slow\"))]\nmod harness { fn t() { x.unwrap(); } }\nfn live() {}\n",
+            "#[cfg(any(test, fuzzing))]\nmod harness { fn t() { x.unwrap(); } }\nfn live() {}\n",
+        ] {
+            let ix = index(src);
+            let live: Vec<&str> = (0..ix.toks.len())
+                .filter(|&i| ix.is_live(i) && ix.toks[i].kind == TokKind::Ident)
+                .map(|i| ix.toks[i].text.as_str())
+                .collect();
+            assert!(!live.contains(&"t"), "composite test cfg is masked in {src:?}");
+            assert!(live.contains(&"live"), "following item stays live in {src:?}");
+        }
+    }
+
+    #[test]
+    fn cfg_with_test_only_inside_not_stays_live() {
+        for src in [
+            "#[cfg(all(not(test), feature = \"slow\"))]\nfn live() { x.unwrap(); }\n",
+            "#[cfg(any(not(test), fuzzing))]\nfn live() { x.unwrap(); }\n",
+        ] {
+            let ix = index(src);
+            let live: Vec<&str> = (0..ix.toks.len())
+                .filter(|&i| ix.is_live(i) && ix.toks[i].kind == TokKind::Ident)
+                .map(|i| ix.toks[i].text.as_str())
+                .collect();
+            assert!(live.contains(&"live"), "not(test)-guarded item is live in {src:?}");
+        }
+        // `test` outside the `not(...)` still wins even when one also
+        // appears inside it.
+        let ix = index("#[cfg(all(test, not(test)))]\nfn odd() {}\n");
+        let live: Vec<&str> = (0..ix.toks.len())
+            .filter(|&i| ix.is_live(i) && ix.toks[i].kind == TokKind::Ident)
+            .map(|i| ix.toks[i].text.as_str())
+            .collect();
+        assert!(!live.contains(&"odd"));
+    }
+
+    #[test]
+    fn cfg_feature_named_like_test_is_not_masked() {
+        // Only the bare ident `test` gates; `feature = "test"` is a string
+        // literal and `integration_test` is a different ident.
+        let ix =
+            index("#[cfg(feature = \"test\")]\nfn a() {}\n#[cfg(integration_test)]\nfn b() {}\n");
+        let live: Vec<&str> = (0..ix.toks.len())
+            .filter(|&i| ix.is_live(i) && ix.toks[i].kind == TokKind::Ident)
+            .map(|i| ix.toks[i].text.as_str())
+            .collect();
+        assert!(live.contains(&"a"));
+        assert!(live.contains(&"b"));
     }
 
     #[test]

@@ -24,11 +24,19 @@
 //!   closures
 //! * `cache-key-completeness` — every parameter of a store-consulting
 //!   function flows into its cache key or is `KEY-EXEMPT`-justified
+//!
+//! On top of the per-file passes, [`symbols`] + [`callgraph`] fuse every
+//! file into one workspace view, and [`workspace`] runs four
+//! interprocedural passes over it (DESIGN.md §12): `panic-reachability`,
+//! `determinism-taint`, `par-disjointness`, and `error-taxonomy`.
 
+pub mod callgraph;
 pub mod index;
 pub mod passes;
 pub mod report;
+pub mod symbols;
 pub mod tokenizer;
+pub mod workspace;
 
 pub use passes::{rules_for, FileRules, RuleKind, Severity, Violation};
 
@@ -36,9 +44,29 @@ use std::collections::{BTreeMap, BTreeSet};
 
 /// Runs the full engine over one file: tokenize → index → passes.
 /// `path` is the workspace-relative path (it selects the rule set).
+///
+/// Per-file rules only — for the interprocedural passes use
+/// [`analyze_files`], which sees all files at once.
 pub fn analyze_source(path: &str, source: &str) -> Vec<Violation> {
     let ix = index::FileIndex::new(tokenizer::tokenize(source));
     passes::run_passes(path, &ix)
+}
+
+/// Runs the full engine — per-file passes *and* the interprocedural
+/// workspace passes — over a set of `(label, source)` pairs. This is what
+/// the CLI runs over the workspace, and what the fixtures run over a
+/// single file (a one-file workspace is still a workspace).
+pub fn analyze_files(files: &[(String, String)]) -> Vec<Violation> {
+    let indexed: Vec<(String, index::FileIndex)> = files
+        .iter()
+        .map(|(label, src)| (label.clone(), index::FileIndex::new(tokenizer::tokenize(src))))
+        .collect();
+    let mut out = Vec::new();
+    for (label, ix) in &indexed {
+        out.extend(passes::run_passes(label, ix));
+    }
+    out.extend(workspace::run_workspace_passes(&indexed));
+    out
 }
 
 /// One baseline entry: a violation budget plus its written justification.

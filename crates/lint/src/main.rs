@@ -21,7 +21,7 @@
 //! cargo run -p amud-lint -- FILE…               # lint specific files (zero budgets)
 //! ```
 
-use amud_lint::{analyze_source, report, resolve, Baseline, Violation};
+use amud_lint::{analyze_files, report, resolve, Baseline};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -161,7 +161,7 @@ fn main() -> ExitCode {
 
     let files = if workspace_mode { workspace_sources(&root) } else { opts.explicit.clone() };
 
-    let mut violations: Vec<Violation> = Vec::new();
+    let mut sources: Vec<(String, String)> = Vec::new();
     let mut scanned: BTreeSet<String> = BTreeSet::new();
     for path in &files {
         let label = rel(&root, path);
@@ -173,8 +173,11 @@ fn main() -> ExitCode {
             }
         };
         scanned.insert(label.clone());
-        violations.extend(analyze_source(&label, &source));
+        sources.push((label, source));
     }
+    // Per-file passes and the interprocedural workspace passes run over
+    // the same file set; explicit-file mode is simply a small workspace.
+    let violations = analyze_files(&sources);
 
     let res = resolve(violations, &scanned, &baseline);
 

@@ -47,6 +47,10 @@ pub enum RuleKind {
     ConcurrencyDiscipline,
     FloatDeterminism,
     CacheKeyCompleteness,
+    PanicReachability,
+    DeterminismTaint,
+    ParDisjointness,
+    ErrorTaxonomy,
 }
 
 impl RuleKind {
@@ -60,6 +64,10 @@ impl RuleKind {
             RuleKind::ConcurrencyDiscipline => "concurrency-discipline",
             RuleKind::FloatDeterminism => "float-determinism",
             RuleKind::CacheKeyCompleteness => "cache-key-completeness",
+            RuleKind::PanicReachability => "panic-reachability",
+            RuleKind::DeterminismTaint => "determinism-taint",
+            RuleKind::ParDisjointness => "par-disjointness",
+            RuleKind::ErrorTaxonomy => "error-taxonomy",
         }
     }
 
@@ -74,6 +82,10 @@ impl RuleKind {
             RuleKind::ConcurrencyDiscipline,
             RuleKind::FloatDeterminism,
             RuleKind::CacheKeyCompleteness,
+            RuleKind::PanicReachability,
+            RuleKind::DeterminismTaint,
+            RuleKind::ParDisjointness,
+            RuleKind::ErrorTaxonomy,
         ]
     }
 

@@ -110,8 +110,14 @@ pub fn render_json(files_scanned: usize, res: &Resolution) -> String {
 }
 
 /// Per-rule `[fresh, regressions, baselined]` counts, sorted by rule name.
+/// Every registered rule appears — zero rows included — so a pass that
+/// went silent is visible in the summary and report diffs stay aligned
+/// across runs.
 pub fn summary_counts(res: &Resolution) -> BTreeMap<String, [usize; 3]> {
     let mut map: BTreeMap<String, [usize; 3]> = BTreeMap::new();
+    for rule in crate::RuleKind::all() {
+        map.insert(rule.name().to_string(), [0; 3]);
+    }
     for v in &res.fresh {
         map.entry(v.rule.name().to_string()).or_default()[0] += 1;
     }

@@ -170,6 +170,20 @@ pub fn tokenize(src: &str) -> Vec<Tok> {
     let mut lx = Lexer { chars: src.chars().collect(), pos: 0, line: 1, col: 1 };
     let mut toks = Vec::new();
 
+    // Shebang: a leading `#!` not followed by `[` is an interpreter line
+    // (rustc accepts it on executable sources), not an inner attribute —
+    // consume the whole first line as a comment token.
+    if lx.peek(0) == Some('#') && lx.peek(1) == Some('!') && lx.peek(2) != Some('[') {
+        let mut text = String::new();
+        while let Some(n) = lx.peek(0) {
+            if n == '\n' {
+                break;
+            }
+            lx.bump_into(&mut text);
+        }
+        toks.push(Tok { kind: TokKind::LineComment, text, line: 1, col: 1 });
+    }
+
     'outer: while let Some(c) = lx.peek(0) {
         let (line, col) = (lx.line, lx.col);
         let mut text = String::new();
@@ -341,6 +355,23 @@ mod tests {
 
     fn kinds(src: &str) -> Vec<(TokKind, String)> {
         tokenize(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn shebang_line_is_a_comment() {
+        let toks = kinds("#!/usr/bin/env run-cargo-script\nfn main() { x.unwrap(); }\n");
+        assert_eq!(toks[0].0, TokKind::LineComment);
+        assert!(toks[0].1.starts_with("#!/usr/bin/env"));
+        // The rest of the file still lexes as code.
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "main"));
+        assert!(!toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "env"));
+    }
+
+    #[test]
+    fn inner_attribute_is_not_a_shebang() {
+        let toks = kinds("#![allow(dead_code)]\nfn main() {}\n");
+        assert_eq!(toks[0], (TokKind::Punct, "#".to_string()));
+        assert!(toks.iter().any(|(k, t)| *k == TokKind::Ident && t == "allow"));
     }
 
     #[test]

@@ -49,6 +49,35 @@ fn exit_1_on_fresh_violation() {
 }
 
 #[test]
+fn exit_1_on_each_interprocedural_fixture() {
+    // The interprocedural passes key on workspace-relative path prefixes,
+    // so stage each fixture in a scratch dir under its target path and run
+    // the CLI from there with a relative argument (relative paths are kept
+    // verbatim as labels).
+    let cases = [
+        ("panic_reachability.rs", "crates/nn/src/fixture.rs", "panic-reachability"),
+        ("determinism_taint.rs", "crates/train/src/fixture.rs", "determinism-taint"),
+        ("par_disjointness.rs", "crates/nn/src/fixture.rs", "par-disjointness"),
+        ("error_taxonomy.rs", "crates/datasets/src/fixture.rs", "error-taxonomy"),
+    ];
+    for (fixture_name, rel_label, rule) in cases {
+        let dir = scratch().join("interprocedural").join(rule);
+        let dest = dir.join(rel_label);
+        let parent = dest.parent().expect("label has a parent dir");
+        std::fs::create_dir_all(parent).expect("create staged crate dir");
+        std::fs::copy(fixture(fixture_name), &dest).expect("stage fixture");
+        let out = Command::new(env!("CARGO_BIN_EXE_amud-lint"))
+            .current_dir(&dir)
+            .arg(rel_label)
+            .output()
+            .expect("spawn amud-lint");
+        let stdout = String::from_utf8_lossy(&out.stdout);
+        assert_eq!(out.status.code(), Some(1), "{fixture_name}: stdout: {stdout}");
+        assert!(stdout.contains(rule), "{fixture_name} must trip {rule}: {stdout}");
+    }
+}
+
+#[test]
 fn exit_2_on_unknown_flag() {
     let out = run(&["--frobnicate"]);
     assert_eq!(out.status.code(), Some(2));

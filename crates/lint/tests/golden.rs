@@ -11,7 +11,7 @@
 //! ```
 
 use amud_lint::tokenizer::{tokenize, TokKind};
-use amud_lint::{analyze_source, report, resolve, Baseline, RuleKind};
+use amud_lint::{analyze_files, analyze_source, report, resolve, Baseline, RuleKind};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 
@@ -24,11 +24,32 @@ fn fixture(name: &str) -> String {
     std::fs::read_to_string(&path).unwrap_or_else(|e| panic!("read {}: {e}", path.display()))
 }
 
-/// Analyzes `fixture_name` under `label`, checks the pass fired exactly
-/// where expected, and snapshots the rendered report.
+/// Analyzes `fixture_name` under `label` with the per-file passes only,
+/// checks the pass fired exactly where expected, and snapshots the
+/// rendered report.
 fn golden_check(fixture_name: &str, label: &str, rule: RuleKind, expect_fresh: usize) {
     let src = fixture(fixture_name);
     let violations = analyze_source(label, &src);
+    golden_snapshot(fixture_name, label, violations, rule, expect_fresh);
+}
+
+/// Like [`golden_check`] but runs the full engine — per-file *and*
+/// interprocedural workspace passes — treating the fixture as a one-file
+/// workspace under `label`.
+fn golden_check_files(fixture_name: &str, label: &str, rule: RuleKind, expect_fresh: usize) {
+    let src = fixture(fixture_name);
+    let files = vec![(label.to_string(), src)];
+    let violations = analyze_files(&files);
+    golden_snapshot(fixture_name, label, violations, rule, expect_fresh);
+}
+
+fn golden_snapshot(
+    fixture_name: &str,
+    label: &str,
+    violations: Vec<amud_lint::Violation>,
+    rule: RuleKind,
+    expect_fresh: usize,
+) {
     let scanned: BTreeSet<String> = [label.to_string()].into();
     let res = resolve(violations, &scanned, &Baseline::default());
 
@@ -99,14 +120,64 @@ fn concurrency_pass_golden() {
 }
 
 #[test]
+fn panic_reachability_pass_golden() {
+    // `.expect` in `factor`, reachable via kernel → scale → factor; the
+    // same site is also counted once by the per-file unwrap ratchet.
+    golden_check_files(
+        "panic_reachability.rs",
+        "crates/nn/src/fixture.rs",
+        RuleKind::PanicReachability,
+        1,
+    );
+}
+
+#[test]
+fn determinism_taint_pass_golden() {
+    // Wall-clock taint into `ordered_sum`, env-var taint into `from_vec`.
+    golden_check_files(
+        "determinism_taint.rs",
+        "crates/train/src/fixture.rs",
+        RuleKind::DeterminismTaint,
+        2,
+    );
+}
+
+#[test]
+fn par_disjointness_pass_golden() {
+    // Ad-hoc `vec![0..cut, …]` ranges with neither a partition provider
+    // nor a `// DISJOINT:` proof.
+    golden_check_files(
+        "par_disjointness.rs",
+        "crates/nn/src/fixture.rs",
+        RuleKind::ParDisjointness,
+        1,
+    );
+}
+
+#[test]
+fn error_taxonomy_pass_golden() {
+    // `Result<_, String>` and `Result<_, Box<dyn Error>>` on pub fns.
+    golden_check_files(
+        "error_taxonomy.rs",
+        "crates/datasets/src/fixture.rs",
+        RuleKind::ErrorTaxonomy,
+        2,
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean_everywhere() {
     let src = fixture("clean.rs");
     for label in
         ["crates/core/src/fixture.rs", "crates/nn/src/fixture.rs", "crates/train/src/fixture.rs"]
     {
-        let vs = analyze_source(label, &src);
+        // Per-file and interprocedural passes both stay silent.
+        let vs = analyze_files(&[(label.to_string(), src.clone())]);
         assert!(vs.is_empty(), "clean.rs under {label}: {vs:#?}");
     }
+    // Snapshot the all-clean report too: the summary must still list every
+    // rule, with zero rows, so report diffs stay aligned across runs.
+    golden_check_files("clean.rs", "crates/nn/src/fixture.rs", RuleKind::UnwrapRatchet, 0);
 }
 
 #[test]

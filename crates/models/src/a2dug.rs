@@ -31,7 +31,9 @@ impl A2dug {
         let mut rng = StdRng::seed_from_u64(seed);
         let n = data.n_nodes();
         let f = data.n_features();
-        let und = data.adj.bool_union(&data.adj.transpose()).expect("A and Aᵀ share a shape");
+        let Ok(und) = data.adj.bool_union(&data.adj.transpose()) else {
+            unreachable!("A and Aᵀ share a shape by definition of transpose")
+        };
         let op_u = gcn_operator(&und);
         let (op_out, op_in) = in_out_operators(&data.adj);
         let propagate = |op: &SparseOp| {

@@ -68,7 +68,8 @@ impl Model for AeroGnn {
                 None => scaled,
             });
         }
-        self.head.forward(tape, &self.bank, z.expect("k ≥ 1"))
+        let Some(z) = z else { unreachable!("hops always holds the k = 0 term") };
+        self.head.forward(tape, &self.bank, z)
     }
     fn name(&self) -> &'static str {
         "AERO-GNN"

@@ -66,7 +66,10 @@ impl Model for BernNet {
                 None => scaled,
             });
         }
-        self.head.forward(tape, &self.bank, filtered.expect("basis non-empty"), training, rng)
+        let Some(filtered) = filtered else {
+            unreachable!("the Bernstein basis always has K + 1 ≥ 1 terms")
+        };
+        self.head.forward(tape, &self.bank, filtered, training, rng)
     }
     fn name(&self) -> &'static str {
         "BernNet"

@@ -25,19 +25,15 @@ pub struct Dgcn {
 impl Dgcn {
     pub fn new(data: &GraphData, hidden: usize, dropout: f32, seed: u64) -> Self {
         let mut rng = StdRng::seed_from_u64(seed);
-        let sym = data
-            .adj
-            .bool_union(&data.adj.transpose())
-            .expect("A and Aᵀ share a shape")
-            .with_self_loops(1.0)
-            .sym_normalized();
+        let Ok(sym) = data.adj.bool_union(&data.adj.transpose()) else {
+            unreachable!("A and Aᵀ share a shape by definition of transpose")
+        };
+        let sym = sym.with_self_loops(1.0).sym_normalized();
         let second = |word: Vec<Dir>| {
-            let m = DirectedPattern::new(word)
-                .materialize(&data.adj)
-                .expect("square adjacency")
-                .with_self_loops(1.0)
-                .sym_normalized();
-            SparseOp::new(m)
+            let Ok(m) = DirectedPattern::new(word).materialize(&data.adj) else {
+                unreachable!("the node adjacency is square by construction")
+            };
+            SparseOp::new(m.with_self_loops(1.0).sym_normalized())
         };
         let mut bank = ParamBank::new();
         let f = data.n_features();

@@ -51,7 +51,9 @@ pub fn digcn_operator(adj: &CsrMatrix, alpha: f32) -> SparseOp {
     let left = p.scale_rows(&sqrt_pi).scale_cols(&inv_sqrt_pi);
     // Π^{-1/2} Pᵀ Π^{1/2}
     let right = p.transpose().scale_rows(&inv_sqrt_pi).scale_cols(&sqrt_pi);
-    let sym = left.add_scaled(0.5, &right, 0.5).expect("shapes match");
+    let Ok(sym) = left.add_scaled(0.5, &right, 0.5) else {
+        unreachable!("left and right are both rescalings of P, so shapes match")
+    };
     SparseOp::new(sym)
 }
 

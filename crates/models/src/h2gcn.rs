@@ -13,9 +13,14 @@ use rand::SeedableRng;
 /// Builds the 1-hop and exclusive 2-hop neighbourhood operators
 /// (symmetrised, degree-normalised, self-loop-free).
 fn hop_operators(adj: &CsrMatrix) -> (SparseOp, SparseOp) {
-    let sym = adj.bool_union(&adj.transpose()).expect("A and Aᵀ share a shape");
+    let Ok(sym) = adj.bool_union(&adj.transpose()) else {
+        unreachable!("A and Aᵀ share a shape by definition of transpose")
+    };
     let one_hop = sym.without_diagonal();
-    let two_raw = one_hop.bool_matmul(&one_hop).expect("square").without_diagonal();
+    let Ok(two_raw) = one_hop.bool_matmul(&one_hop) else {
+        unreachable!("one_hop is square, so it composes with itself")
+    };
+    let two_raw = two_raw.without_diagonal();
     // Exclusive 2-hop ring: drop pairs already adjacent.
     let one = one_hop.clone();
     let two_hop = two_raw.filter_entries(|u, v| one.get(u, v) == 0.0);
@@ -71,7 +76,7 @@ impl Model for H2gcn {
         let h0 = tape.relu(h0);
         let mut rounds = vec![h0];
         for _ in 0..self.rounds {
-            let prev = *rounds.last().expect("seeded with h0");
+            let Some(&prev) = rounds.last() else { unreachable!("rounds is seeded with h0") };
             let n1 = tape.spmm(&self.op1, prev);
             let n2 = tape.spmm(&self.op2, prev);
             rounds.push(tape.concat_cols(&[n1, n2]));

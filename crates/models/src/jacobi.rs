@@ -52,7 +52,8 @@ impl Model for JacobiConv {
                 None => term,
             });
         }
-        z.expect("basis non-empty")
+        let Some(z) = z else { unreachable!("the Jacobi basis holds K + 1 ≥ 1 terms") };
+        z
     }
     fn name(&self) -> &'static str {
         "JacobiConv"

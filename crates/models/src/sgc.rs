@@ -20,7 +20,9 @@ impl Sgc {
         let mut rng = StdRng::seed_from_u64(seed);
         let op = gcn_operator(&data.adj);
         let hops = propagate_k(&op, &data.features, k);
-        let propagated = hops.into_iter().last().expect("k+1 hops generated");
+        let Some(propagated) = hops.into_iter().last() else {
+            unreachable!("propagate_k returns the k = 0 hop even for k = 0")
+        };
         let mut bank = ParamBank::new();
         let linear = Linear::new(&mut bank, data.n_features(), data.n_classes, &mut rng);
         Self { bank, propagated, linear, k }

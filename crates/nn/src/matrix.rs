@@ -240,6 +240,8 @@ impl DenseMatrix {
             return out;
         }
         let k_ranges = amud_par::split_even(self.rows, n_blocks);
+        // DISJOINT: singleton ranges b..b+1 tile 0..n_blocks in ascending
+        // order without overlap; each block owns one partial buffer.
         let block_parts: Vec<Range<usize>> = (0..n_blocks).map(|b| b..b + 1).collect();
         let mut partials = vec![0.0f32; n_blocks * out_len];
         amud_par::par_row_blocks_mut(&mut partials, out_len, &block_parts, |b, _, partial| {
@@ -421,7 +423,7 @@ impl DenseMatrix {
                     .row(r)
                     .iter()
                     .enumerate()
-                    .max_by(|a, b| a.1.partial_cmp(b.1).expect("logits must not be NaN"))
+                    .max_by(|a, b| a.1.total_cmp(b.1))
                     .map(|(i, _)| i)
                     .unwrap_or(0);
             }

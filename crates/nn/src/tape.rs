@@ -489,10 +489,10 @@ impl Tape {
         }
         self.nodes[root].grad = Some(DenseMatrix::ones(1, 1));
         for id in (0..=root).rev() {
-            if !self.nodes[id].needs_grad || self.nodes[id].grad.is_none() {
+            if !self.nodes[id].needs_grad {
                 continue;
             }
-            let grad = self.nodes[id].grad.take().expect("checked above");
+            let Some(grad) = self.nodes[id].grad.take() else { continue };
             self.propagate(id, &grad);
             self.nodes[id].grad = Some(grad);
         }
@@ -720,8 +720,8 @@ impl Tape {
                         }
                         let de = a * (dalpha[idx] - weighted_mean);
                         let dpre = if pre_activation[slot] > 0.0 { de } else { slope * de };
-                        *ds.row_mut(i).first_mut().expect("n × 1") += dpre;
-                        *dd.row_mut(j as usize).first_mut().expect("n × 1") += dpre;
+                        ds.set(i, 0, ds.get(i, 0) + dpre);
+                        dd.set(j as usize, 0, dd.get(j as usize, 0) + dpre);
                     }
                     offset += cols.len();
                 }

@@ -1,0 +1,88 @@
+//! Seeded-violation driver for the runtime disjointness sanitizer.
+//!
+//! Built only under `--features san` (see `required-features` in the
+//! manifest). Each mode stages one violation class end-to-end so
+//! `tests/san.rs` can assert, from a subprocess, that the shadow registry
+//! actually aborts — a sanitizer whose abort path is never exercised is
+//! indistinguishable from one that silently misses races.
+//!
+//! * `overlap` — an inner parallel call over an aliasing slice whose block
+//!   straddles the boundary between two live outer blocks. The per-call
+//!   ascending-range asserts in `par_row_blocks_mut` cannot see this (each
+//!   call's ranges are individually well-formed); only the cross-call
+//!   shadow registry can.
+//! * `retain` — a block that outlives its epoch: the guard is leaked and
+//!   the epoch deactivated through the failure-injection hook, so the next
+//!   epoch finds the stale registration.
+//! * `clean` — a well-formed fan-out, as a negative control: exits 0.
+
+fn overlap() {
+    let mut data = vec![0u32; 64];
+    let addr = data.as_mut_ptr() as usize;
+    // One thread keeps both calls inline on this thread: the outer epoch's
+    // blocks are live while the inner call records its own.
+    amud_par::with_threads(1, || {
+        amud_par::par_row_blocks_mut(&mut data, 1, &[0..32, 32..64], |p, _rows, _block| {
+            if p == 0 {
+                // SAFETY: deliberately unsound — `from_raw_parts_mut`
+                // resurrects all 64 rows from `addr` while the enclosing
+                // `par_row_blocks_mut` call holds them exclusively,
+                // exactly the aliasing bug the sanitizer exists to catch.
+                // The inner range 20..44 straddles the outer 32-row
+                // boundary, so it is neither disjoint from nor a
+                // parent-reborrow of any live block; the registry aborts
+                // before any write happens through the alias.
+                let alias = unsafe { std::slice::from_raw_parts_mut(addr as *mut u32, 64) };
+                let straddle = 20..44;
+                amud_par::par_row_blocks_mut(alias, 1, &[straddle], |_, _, b| {
+                    let _ = b.len();
+                });
+            }
+        });
+    });
+    eprintln!("san-abuse overlap: sanitizer failed to abort");
+    std::process::exit(1);
+}
+
+fn retain() {
+    let guard = amud_par::san::EpochGuard::begin();
+    let data = [0u8; 16];
+    let epoch = guard.epoch();
+    amud_par::san::record_block(epoch, data.as_ptr() as usize, data.len(), 0..16);
+    // Leak the guard, then deactivate the epoch through the
+    // failure-injection hook: the block stays registered with no active
+    // owner, which the next epoch must report as retention.
+    std::mem::forget(guard);
+    amud_par::san::mark_epoch_inactive(epoch);
+    let _next = amud_par::san::EpochGuard::begin();
+    eprintln!("san-abuse retain: sanitizer failed to abort");
+    std::process::exit(1);
+}
+
+fn clean() {
+    let mut data = vec![0u64; 1024];
+    amud_par::with_threads(4, || {
+        amud_par::par_chunks_mut(&mut data, 8, |_, rows, block| {
+            for (offset, v) in block.iter_mut().enumerate() {
+                *v = (rows.start + offset) as u64;
+            }
+        });
+    });
+    if data.iter().enumerate().any(|(i, &v)| v != i as u64) {
+        eprintln!("san-abuse clean: wrong fill");
+        std::process::exit(1);
+    }
+    println!("san-abuse clean: ok");
+}
+
+fn main() {
+    match std::env::args().nth(1).as_deref() {
+        Some("overlap") => overlap(),
+        Some("retain") => retain(),
+        Some("clean") => clean(),
+        _ => {
+            eprintln!("usage: san-abuse <overlap|retain|clean>");
+            std::process::exit(2);
+        }
+    }
+}

@@ -61,11 +61,24 @@ where
         prev_end.checked_mul(stride).is_some_and(|n| n <= data.len()),
         "par_row_blocks_mut: ranges exceed the buffer"
     );
+    // Under `--features san` every call is an epoch in the shadow
+    // registry; the guard releases the epoch's blocks on return or unwind.
+    #[cfg(feature = "san")]
+    let san = crate::san::EpochGuard::begin();
     let base = SendPtr(data.as_mut_ptr());
     pool::run(parts.len(), |p| {
         let rows = parts[p].clone();
         let len = (rows.end - rows.start) * stride;
         let start = base.get().wrapping_add(rows.start * stride);
+        #[cfg(feature = "san")]
+        if len > 0 {
+            crate::san::record_block(
+                san.epoch(),
+                start as usize,
+                len * std::mem::size_of::<T>(),
+                rows.clone(),
+            );
+        }
         // SAFETY: `start`/`len` delimit exactly rows `rows` of `data`,
         // which the ascending-range assertions above proved in-bounds and
         // disjoint from every other task's block; `pool::run` gives part

@@ -55,6 +55,8 @@ mod chunks;
 mod fold;
 mod partition;
 mod pool;
+#[cfg(feature = "san")]
+pub mod san;
 
 pub use chunks::{par_chunks_mut, par_row_blocks_mut};
 pub use fold::{ordered_dot, ordered_sum};

@@ -1,0 +1,210 @@
+//! Runtime disjointness sanitizer (compiled under `--features san`).
+//!
+//! The static `par-disjointness` pass proves, at lint time, that the row
+//! ranges handed to [`crate::par_row_blocks_mut`] derive from the blessed
+//! partitioners. This module is the dynamic half of that contract: a
+//! shadow registry that records, per *epoch* (one `par_row_blocks_mut`
+//! call), the byte range of every block a task receives, and aborts the
+//! process with a structured report the moment two live blocks alias —
+//! including aliasing the static pass cannot see, such as a second slice
+//! reconstructed from a raw address overlapping a block of an enclosing
+//! parallel call.
+//!
+//! Two violation classes are detected:
+//!
+//! * **overlap** — a newly recorded block intersects a live block it does
+//!   not legitimately reborrow. A block fully contained in a block of an
+//!   *enclosing* epoch is a parent reborrow (sound: the parent task owns
+//!   it exclusively) and is allowed; any partial intersection, and any
+//!   intersection between blocks of the same epoch, aborts.
+//! * **cross-epoch retention** — blocks of an epoch that was marked
+//!   inactive are still registered when the next epoch begins, meaning a
+//!   block outlived its parallel call. The runtime's [`EpochGuard`]
+//!   releases blocks on drop, so retention can only arise from a leaked
+//!   guard or a future code path that bypasses the guard; the registry
+//!   turns that silent lifetime bug into a loud abort.
+//!
+//! The sanitizer aborts (rather than panics) so a violation cannot be
+//! swallowed by `catch_unwind` in a harness: a disjointness breach means
+//! the process may already have raced, and nothing downstream is
+//! trustworthy. The shadow state is a single global mutex — the sanitizer
+//! is a debugging build, not a fast path — and lock poisoning is ignored
+//! via `PoisonError::into_inner` because the registry's plain-old-data
+//! state is valid even if a panic interrupted an earlier holder.
+
+use std::ops::Range;
+use std::sync::{Mutex, OnceLock, PoisonError};
+
+/// One shadow-registered block: the byte span a task may write.
+struct Entry {
+    /// Epoch (parallel call) the block belongs to.
+    epoch: u64,
+    /// First byte address of the block.
+    start: usize,
+    /// One past the last byte address of the block.
+    end: usize,
+    /// Row range the block was derived from (for reports).
+    rows: Range<usize>,
+}
+
+struct Registry {
+    /// Next epoch id to hand out; epoch 0 is never used.
+    next_epoch: u64,
+    /// Epochs whose parallel call is still running.
+    active: Vec<u64>,
+    /// Live blocks across all active epochs.
+    entries: Vec<Entry>,
+}
+
+fn registry() -> &'static Mutex<Registry> {
+    static REGISTRY: OnceLock<Mutex<Registry>> = OnceLock::new();
+    REGISTRY.get_or_init(|| {
+        Mutex::new(Registry { next_epoch: 1, active: Vec::new(), entries: Vec::new() })
+    })
+}
+
+/// Releases an epoch's registration *without* releasing its blocks.
+///
+/// This is the failure-injection hook for the retention detector: the
+/// normal lifecycle ([`EpochGuard::drop`]) always releases blocks together
+/// with the epoch. Calling this instead — as `san-abuse retain` does after
+/// `mem::forget`ting its guard — leaves the blocks behind, which the next
+/// [`epoch_begin`] reports as cross-epoch retention.
+#[doc(hidden)]
+pub fn mark_epoch_inactive(epoch: u64) {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    reg.active.retain(|&e| e != epoch);
+}
+
+/// Opens a new epoch, first checking that no block from an inactive epoch
+/// is still registered. Returns the epoch id to pass to [`record_block`].
+pub fn epoch_begin() -> u64 {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let retained: Vec<String> =
+        reg.entries.iter().filter(|e| !reg.active.contains(&e.epoch)).map(describe).collect();
+    if !retained.is_empty() {
+        drop(reg);
+        report_and_abort(
+            "cross-epoch retention",
+            &retained,
+            "a block outlived its parallel call: its epoch ended without releasing it",
+        );
+    }
+    let epoch = reg.next_epoch;
+    reg.next_epoch += 1;
+    reg.active.push(epoch);
+    epoch
+}
+
+/// Registers a task's block (byte span `start..start + len_bytes`, derived
+/// from `rows`) under `epoch`, aborting on any illegitimate overlap with a
+/// live block.
+pub fn record_block(epoch: u64, start: usize, len_bytes: usize, rows: Range<usize>) {
+    let end = start.saturating_add(len_bytes);
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    let new = Entry { epoch, start, end, rows };
+    let clashes: Vec<String> = reg
+        .entries
+        .iter()
+        .filter(|e| {
+            let disjoint = e.end <= new.start || new.end <= e.start;
+            // A block fully inside an *enclosing* epoch's block is that
+            // parent task reborrowing its own memory — sound by exclusive
+            // ownership. Everything else that intersects is a violation.
+            let parent_reborrow = e.epoch != new.epoch && e.start <= new.start && new.end <= e.end;
+            !disjoint && !parent_reborrow
+        })
+        .map(describe)
+        .collect();
+    if !clashes.is_empty() {
+        let msg = describe(&new);
+        drop(reg);
+        let mut lines = vec![format!("new block : {msg}")];
+        for c in clashes {
+            lines.push(format!("clashes   : {c}"));
+        }
+        report_and_abort(
+            "overlapping blocks",
+            &lines,
+            "two live blocks alias the same bytes; writes through them race",
+        );
+    }
+    reg.entries.push(new);
+}
+
+/// Releases every block of `epoch` and marks it inactive — the normal end
+/// of a parallel call, invoked by [`EpochGuard::drop`].
+fn epoch_end(epoch: u64) {
+    let mut reg = registry().lock().unwrap_or_else(PoisonError::into_inner);
+    reg.entries.retain(|e| e.epoch != epoch);
+    reg.active.retain(|&e| e != epoch);
+}
+
+fn describe(e: &Entry) -> String {
+    format!(
+        "epoch {} rows {}..{} bytes {:#x}..{:#x}",
+        e.epoch, e.rows.start, e.rows.end, e.start, e.end
+    )
+}
+
+fn report_and_abort(kind: &str, details: &[String], why: &str) -> ! {
+    eprintln!("== amud-par sanitizer: {kind} ==");
+    for d in details {
+        eprintln!("  {d}");
+    }
+    eprintln!("  {why}");
+    eprintln!("== aborting: parallel state is no longer trustworthy ==");
+    std::process::abort()
+}
+
+/// Scope marker for one parallel call: opened by [`EpochGuard::begin`],
+/// releases the epoch's blocks on drop (including on unwind, so a panic
+/// inside a task cannot leak shadow state into the next call).
+pub struct EpochGuard {
+    epoch: u64,
+}
+
+impl EpochGuard {
+    /// Opens a fresh epoch (see [`epoch_begin`]) and ties its lifetime to
+    /// the returned guard.
+    pub fn begin() -> Self {
+        EpochGuard { epoch: epoch_begin() }
+    }
+
+    /// The epoch id, to pass to [`record_block`].
+    pub fn epoch(&self) -> u64 {
+        self.epoch
+    }
+}
+
+impl Drop for EpochGuard {
+    fn drop(&mut self) {
+        epoch_end(self.epoch);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    // The abort paths are exercised end-to-end by `tests/san.rs`, which
+    // drives the `san-abuse` binary in a subprocess; in-process tests
+    // cover only the non-aborting bookkeeping.
+
+    #[test]
+    fn disjoint_blocks_and_parent_reborrows_are_clean() {
+        let outer = EpochGuard::begin();
+        record_block(outer.epoch(), 0x1000, 64, 0..4);
+        record_block(outer.epoch(), 0x1040, 64, 4..8);
+        {
+            // A nested epoch re-deriving a sub-span of the first block.
+            let inner = EpochGuard::begin();
+            record_block(inner.epoch(), 0x1010, 16, 1..2);
+        }
+        // Dropping the guards releases everything; the next epoch sees a
+        // clean registry.
+        drop(outer);
+        let fresh = EpochGuard::begin();
+        record_block(fresh.epoch(), 0x1000, 128, 0..8);
+    }
+}

@@ -1,0 +1,42 @@
+//! End-to-end sanitizer tests: drive the `san-abuse` binary in a
+//! subprocess and assert on its exit status and report, because the
+//! sanitizer's failure mode is a process abort that cannot be observed
+//! in-process.
+
+#![cfg(feature = "san")]
+
+use std::process::{Command, Output};
+
+fn run_abuse(mode: &str) -> Output {
+    let exe = env!("CARGO_BIN_EXE_san-abuse");
+    match Command::new(exe).arg(mode).output() {
+        Ok(out) => out,
+        Err(e) => panic!("failed to spawn {exe}: {e}"),
+    }
+}
+
+#[test]
+fn overlap_aborts_with_report() {
+    let out = run_abuse("overlap");
+    assert!(!out.status.success(), "aliasing blocks must abort, got {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("amud-par sanitizer: overlapping blocks"), "stderr: {stderr}");
+    assert!(stderr.contains("new block"), "report names the offending block: {stderr}");
+    assert!(stderr.contains("clashes"), "report names the clashing block(s): {stderr}");
+}
+
+#[test]
+fn retention_aborts_with_report() {
+    let out = run_abuse("retain");
+    assert!(!out.status.success(), "retained blocks must abort, got {:?}", out.status);
+    let stderr = String::from_utf8_lossy(&out.stderr);
+    assert!(stderr.contains("amud-par sanitizer: cross-epoch retention"), "stderr: {stderr}");
+}
+
+#[test]
+fn clean_fanout_passes() {
+    let out = run_abuse("clean");
+    assert!(out.status.success(), "well-formed fan-out must exit 0: {:?}", out.status);
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("ok"), "stdout: {stdout}");
+}

@@ -221,6 +221,8 @@ fn train_inner(
         });
     }
 
+    // TAINT-PURE(started): wall-clock only drives the timeout check and
+    // the wall-seconds reporting field, never any trained value.
     let started = Instant::now();
     let mut rng = StdRng::seed_from_u64(seed);
     let mut lr = cfg.lr;

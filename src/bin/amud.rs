@@ -29,6 +29,8 @@ use amud_repro::models::registry::{
 use amud_repro::train::{train, GraphData, Model, TrainConfig, TrainError};
 
 fn env_scale() -> ReplicaScale {
+    // TAINT-PURE(env_scale): AMUD_SCALE only selects among the fixed
+    // ReplicaScale presets; the env value itself never reaches data.
     match std::env::var("AMUD_SCALE").as_deref() {
         Ok("tiny") => ReplicaScale::tiny(),
         Ok("full") => ReplicaScale::full(),
@@ -139,6 +141,8 @@ fn finish(result: Result<amud_repro::train::TrainResult, TrainError>) {
 fn cmd_train(target: &str, model_name: &str, verify_tape: bool, max_retries: Option<usize>) {
     let d = load_dataset(target);
     let data = to_bundle(&d);
+    // TAINT-PURE(epochs): a user-facing epoch budget only bounds the
+    // training loop; it never enters tensor values or cache keys.
     let epochs: usize =
         std::env::var("AMUD_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(150);
     let cfg = TrainConfig {
