@@ -84,6 +84,18 @@ cargo test -q -p amud-core --test precompute_equivalence
 echo "==> precompute equivalence (AMUD_CACHE=off)"
 AMUD_CACHE=off cargo test -q -p amud-core --test precompute_equivalence
 
+# Serving smoke: spawn a real `amud serve` subprocess and drive it through
+# normal requests, a past-deadline request, and a corrupt-then-valid hot
+# swap, asserting every stats counter moved (tests/serve_e2e.rs::ci_smoke).
+echo "==> serve smoke (cargo test --test serve_e2e ci_smoke)"
+cargo test -q --release --test serve_e2e -- ci_smoke
+
+# Serving load/fault harness: Zipf-skewed steady load, overload burst,
+# deadline miss, corrupt-snapshot-mid-run, and a slow client — emits
+# p50/p99/QPS plus shed/timeout/degraded/swap counters.
+echo "==> bench-serve --smoke"
+cargo run --release -q -p amud-bench --bin bench-serve -- --smoke --out /tmp/BENCH_serve_smoke.json
+
 # Kernel benchmark smoke run: times serial vs parallel on CI-sized shapes
 # and fails if any kernel's outputs diverge bitwise between the budgets.
 echo "==> bench-kernels --smoke"

@@ -94,21 +94,21 @@ impl Default for AdpaConfig {
 
 /// The ADPA model, bound to one graph.
 pub struct Adpa {
-    bank: ParamBank,
+    pub(crate) bank: ParamBank,
     cfg: AdpaConfig,
     /// Cached Eq. 9 output.
-    propagated: PropagatedFeatures,
+    pub(crate) propagated: PropagatedFeatures,
     /// Names of the operators actually in use (after DP selection).
     pattern_names: Vec<String>,
     /// `W_DP` for [`DpAttention::Original`].
-    w_dp: Option<ParamId>,
+    pub(crate) w_dp: Option<ParamId>,
     /// Per-operator scorers for Gate / Recursive.
-    op_scorers: Vec<Linear>,
+    pub(crate) op_scorers: Vec<Linear>,
     /// Fuses the (weighted) concatenation of operators to `hidden` dims.
-    fuse: Linear,
+    pub(crate) fuse: Linear,
     /// Hop-attention scorer: `K·hidden → K`.
-    hop_scorer: Option<Linear>,
-    classifier: Mlp,
+    pub(crate) hop_scorer: Option<Linear>,
+    pub(crate) classifier: Mlp,
 }
 
 impl Adpa {

@@ -32,8 +32,11 @@
 
 /// ADPA — the paper's adaptive directed-pattern-aggregation model (§IV).
 pub mod adpa;
+
 /// AMUD — the topological-guidance score and decision rule (§III).
 pub mod amud;
+/// Plain-data export of a trained ADPA model for serving (`amud-serve`).
+pub mod export;
 /// Paradigm selection: AMUD decision → undirected/directed pipeline.
 pub mod paradigm;
 /// Content-addressed precompute cache for operators and propagation.
@@ -43,5 +46,6 @@ pub mod propagation;
 
 pub use adpa::{Adpa, AdpaConfig, DpAttention};
 pub use amud::{amud_score, AmudDecision, AmudReport, PatternCorrelation};
+pub use export::{AdpaExport, LinearExport};
 pub use paradigm::{prepare_topology, Paradigm};
 pub use propagation::PropagatedFeatures;

@@ -67,7 +67,12 @@ impl CsrMatrix {
         let mut last: Option<(usize, usize)> = None;
         for (r, c, v) in entries {
             if last == Some((r, c)) {
-                *values.last_mut().expect("duplicate implies a previous entry") += v;
+                let Some(tail) = values.last_mut() else {
+                    // `last` is only ever set right after a push, so a
+                    // duplicate implies a previous entry exists.
+                    unreachable!("duplicate implies a previous entry")
+                };
+                *tail += v;
                 continue;
             }
             col_idx.push(c as u32);
@@ -343,8 +348,11 @@ impl CsrMatrix {
     /// Removes any diagonal entries (self-loops).
     pub fn without_diagonal(&self) -> CsrMatrix {
         let triplets = self.iter().filter(|&(r, c, _)| r != c);
-        CsrMatrix::from_coo(self.n_rows, self.n_cols, triplets)
-            .expect("entries of a valid matrix remain in bounds")
+        let Ok(m) = CsrMatrix::from_coo(self.n_rows, self.n_cols, triplets) else {
+            // `iter` yields indices already validated at construction.
+            unreachable!("entries of a valid matrix remain in bounds")
+        };
+        m
     }
 
     /// Adds self-loops with weight `w` (overwriting any existing diagonal).
@@ -355,8 +363,12 @@ impl CsrMatrix {
         assert_eq!(self.n_rows, self.n_cols, "self-loops require a square matrix");
         let triplets =
             self.iter().filter(|&(r, c, _)| r != c).chain((0..self.n_rows).map(|i| (i, i, w)));
-        CsrMatrix::from_coo(self.n_rows, self.n_cols, triplets)
-            .expect("entries of a valid matrix remain in bounds")
+        let Ok(m) = CsrMatrix::from_coo(self.n_rows, self.n_cols, triplets) else {
+            // Existing entries are valid, and the added diagonal is bounded
+            // by the square-shape assert above.
+            unreachable!("entries of a valid matrix remain in bounds")
+        };
+        m
     }
 
     /// Row sums (weighted out-degrees for an adjacency matrix).
@@ -430,8 +442,12 @@ impl CsrMatrix {
     pub fn filter_entries(&self, mut keep: impl FnMut(usize, usize) -> bool) -> CsrMatrix {
         let triplets: Vec<(usize, usize, f32)> =
             self.iter().filter(|&(r, c, _)| keep(r, c)).collect();
-        CsrMatrix::from_coo(self.n_rows, self.n_cols, triplets)
-            .expect("entries of a valid matrix remain in bounds")
+        let Ok(m) = CsrMatrix::from_coo(self.n_rows, self.n_cols, triplets) else {
+            // Filtering only drops entries; survivors were validated at
+            // construction.
+            unreachable!("entries of a valid matrix remain in bounds")
+        };
+        m
     }
 
     /// Structural equality of the sparsity pattern (ignores values).

@@ -78,7 +78,10 @@ impl DiGraph {
     /// operation the paper argues is applied too indiscriminately (Sec. I,
     /// L2). Labels are preserved.
     pub fn to_undirected(&self) -> DiGraph {
-        let adj = self.adj.bool_union(&self.adj.transpose()).expect("A and Aᵀ share a shape");
+        let Ok(adj) = self.adj.bool_union(&self.adj.transpose()) else {
+            // Adjacency is square, so A and Aᵀ share a shape by definition.
+            unreachable!("A and Aᵀ share a shape")
+        };
         DiGraph { adj, labels: self.labels.clone(), n_classes: self.n_classes }
     }
 

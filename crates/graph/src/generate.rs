@@ -7,6 +7,15 @@ use crate::DiGraph;
 use rand::Rng;
 use std::collections::HashSet;
 
+/// Builds a graph from edges every generator in this module produces with
+/// indices already reduced mod `n` — out-of-bounds is impossible.
+fn built(n: usize, edges: impl IntoIterator<Item = (usize, usize)>) -> DiGraph {
+    let Ok(g) = DiGraph::from_edges(n, edges) else {
+        unreachable!("generated edges are in bounds")
+    };
+    g
+}
+
 /// Erdős–Rényi digraph G(n, p): each ordered pair (u, v), u ≠ v, is an edge
 /// independently with probability `p`.
 pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> DiGraph {
@@ -34,7 +43,7 @@ pub fn erdos_renyi<R: Rng>(n: usize, p: f64, rng: &mut R) -> DiGraph {
             }
         }
     }
-    DiGraph::from_edges(n, edges).expect("generated edges are in bounds")
+    built(n, edges)
 }
 
 /// Exact-size random digraph G(n, m): `m` distinct directed edges sampled
@@ -50,17 +59,17 @@ pub fn gnm_random<R: Rng>(n: usize, m: usize, rng: &mut R) -> DiGraph {
             chosen.insert((u, v));
         }
     }
-    DiGraph::from_edges(n, chosen).expect("generated edges are in bounds")
+    built(n, chosen)
 }
 
 /// A directed cycle 0 → 1 → … → n-1 → 0. Deterministic; handy in tests.
 pub fn directed_cycle(n: usize) -> DiGraph {
-    DiGraph::from_edges(n, (0..n).map(|i| (i, (i + 1) % n))).expect("cycle edges are in bounds")
+    built(n, (0..n).map(|i| (i, (i + 1) % n)))
 }
 
 /// A star with `n - 1` leaves, all edges pointing away from the hub (node 0).
 pub fn out_star(n: usize) -> DiGraph {
-    DiGraph::from_edges(n, (1..n).map(|i| (0, i))).expect("star edges are in bounds")
+    built(n, (1..n).map(|i| (0, i)))
 }
 
 #[cfg(test)]

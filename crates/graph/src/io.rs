@@ -19,9 +19,9 @@ use std::fmt::Write as _;
 /// Serialises a digraph (and its labels, if any) to the text format.
 pub fn to_text(g: &DiGraph) -> String {
     let mut out = String::new();
-    if g.labels().is_some() {
+    if let Some(labels) = g.labels() {
         let _ = writeln!(out, "nodes {} classes {}", g.n_nodes(), g.n_classes());
-        for (v, &y) in g.labels().expect("checked").iter().enumerate() {
+        for (v, &y) in labels.iter().enumerate() {
             let _ = writeln!(out, "label {v} {y}");
         }
     } else {

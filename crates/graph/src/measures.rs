@@ -32,7 +32,10 @@ pub struct HomophilyReport {
 /// # Panics
 /// Panics if the graph carries no labels.
 pub fn homophily_report(g: &DiGraph) -> HomophilyReport {
-    let labels = g.labels().expect("homophily requires labels");
+    let Some(labels) = g.labels() else {
+        // Documented panic contract: callers must label the graph first.
+        unreachable!("homophily requires labels")
+    };
     let a = g.adjacency();
     let c = g.n_classes();
     HomophilyReport {

@@ -1,0 +1,12 @@
+//! Seeded violation: the serving crate's public API leaking stringly-typed
+//! errors instead of `ServeError`/`SnapshotError`. Expected findings under
+//! the label `crates/serve/src/fixture.rs`:
+//!   2 × error-taxonomy (`Result<_, String>` and `Result<_, Box<dyn Error>>`)
+
+pub fn load_snapshot(path: &str) -> Result<Vec<u8>, String> {
+    std::fs::read(path).map_err(|e| format!("read snapshot {path}: {e}"))
+}
+
+pub fn admit(nodes: &[usize]) -> Result<usize, Box<dyn std::error::Error>> {
+    Ok(nodes.len())
+}

@@ -152,7 +152,9 @@ pub struct FileRules {
     /// `amud-par` runtime itself).
     pub forbid_raw_threads: bool,
     /// Ban `Mutex`/`Condvar`/atomic construction (everywhere except
-    /// `amud-par` and `amud-cache`).
+    /// `amud-par`, `amud-cache`, and `amud-serve` — the three crates whose
+    /// job *is* concurrency: the pool runtime, the store, and the serving
+    /// loop's admission queue / shared state).
     pub forbid_sync_primitives: bool,
     /// Ban unordered float reductions inside `par_*` closures (everywhere
     /// except `amud-par`, which hosts the approved ordered folds).
@@ -168,13 +170,14 @@ pub struct FileRules {
 pub fn rules_for(path: &str) -> FileRules {
     let in_par = path.starts_with("crates/par/src/");
     let in_cache = path.starts_with("crates/cache/src/");
+    let in_serve = path.starts_with("crates/serve/src/");
     FileRules {
         forbid_panic: path.starts_with("crates/nn/src/")
             || path.starts_with("crates/graph/src/")
             || in_par,
         require_docs: path.starts_with("crates/core/src/"),
         forbid_raw_threads: !in_par,
-        forbid_sync_primitives: !in_par && !in_cache,
+        forbid_sync_primitives: !in_par && !in_cache && !in_serve,
         float_determinism: !in_par,
         confine_raw_pointers: !in_par,
         cache_key: in_cache || path == "crates/core/src/precompute.rs",

@@ -752,7 +752,7 @@ fn pass_par_disjointness(
 // ---------------------------------------------------------------------
 
 /// Crates whose public API must use the typed error enums.
-const TAXONOMY_PATHS: &[&str] = &["crates/train/src/", "crates/datasets/src/"];
+const TAXONOMY_PATHS: &[&str] = &["crates/train/src/", "crates/datasets/src/", "crates/serve/src/"];
 
 fn pass_error_taxonomy(
     files: &[(String, FileIndex)],

@@ -59,6 +59,7 @@ fn exit_1_on_each_interprocedural_fixture() {
         ("determinism_taint.rs", "crates/train/src/fixture.rs", "determinism-taint"),
         ("par_disjointness.rs", "crates/nn/src/fixture.rs", "par-disjointness"),
         ("error_taxonomy.rs", "crates/datasets/src/fixture.rs", "error-taxonomy"),
+        ("serve_error_taxonomy.rs", "crates/serve/src/fixture.rs", "error-taxonomy"),
     ];
     for (fixture_name, rel_label, rule) in cases {
         let dir = scratch().join("interprocedural").join(rule);

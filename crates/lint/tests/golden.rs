@@ -166,6 +166,18 @@ fn error_taxonomy_pass_golden() {
 }
 
 #[test]
+fn serve_error_taxonomy_pass_golden() {
+    // The serving crate is governed too: stringly-typed errors on its pub
+    // API (instead of `ServeError`/`SnapshotError`) are fresh findings.
+    golden_check_files(
+        "serve_error_taxonomy.rs",
+        "crates/serve/src/fixture.rs",
+        RuleKind::ErrorTaxonomy,
+        2,
+    );
+}
+
+#[test]
 fn clean_fixture_is_clean_everywhere() {
     let src = fixture("clean.rs");
     for label in

@@ -57,11 +57,13 @@ mod partition;
 mod pool;
 #[cfg(feature = "san")]
 pub mod san;
+mod service;
 
 pub use chunks::{par_chunks_mut, par_row_blocks_mut};
 pub use fold::{ordered_dot, ordered_sum};
 pub use partition::{split_by_weight, split_even};
 pub use pool::{pool, run, ThreadPool};
+pub use service::{spawn_service, ServiceHandle};
 
 use std::cell::Cell;
 use std::sync::OnceLock;

@@ -1,0 +1,262 @@
+//! Typed error taxonomy for the serving stack (DESIGN.md §13).
+//!
+//! Serving failures split into two layers. [`SnapshotError`] covers the
+//! artifact boundary — everything that can be wrong with a snapshot file
+//! on disk (torn write, truncation, bit flip, version skew) — and is
+//! produced only by the parser in [`crate::snapshot`], which validates
+//! before it trusts a single byte. [`ServeError`] covers the service
+//! itself: admission, deadlines, request validation, socket I/O. Both are
+//! closed enums; public fallible functions in this crate never return
+//! `String` or `Box<dyn Error>` (enforced by the `error-taxonomy`
+//! workspace lint pass).
+//!
+//! Exit codes extend the CLI table (README): training owns 3–8, serving
+//! owns 9–12. In particular a serve-side deadline is **not**
+//! [`amud_train::TrainError::Timeout`] (exit 8, "the training wall-clock
+//! budget ran out"): a request that missed its deadline is
+//! [`ServeError::Deadline`] (exit 10), and the distinctness is pinned by
+//! a test below so scripts can keep telling the two apart.
+
+use std::fmt;
+
+/// Everything that can be wrong with a snapshot artifact on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub enum SnapshotError {
+    /// The underlying filesystem operation failed (read, write, rename).
+    /// Possibly transient — the loader retries these with backoff.
+    Io {
+        /// Which operation failed (`"read"`, `"write"`, `"rename"`, …).
+        op: &'static str,
+        /// The rendered OS error.
+        message: String,
+    },
+    /// The file does not start with the snapshot magic — not a snapshot
+    /// at all, or a torn write over the header.
+    BadMagic,
+    /// The format version is not one this build can read.
+    UnsupportedVersion {
+        /// The version the file claims.
+        found: u32,
+    },
+    /// The file ends before the named section is complete (half-written
+    /// artifact, truncated copy).
+    Truncated {
+        /// Which section (or framing element) was cut short.
+        section: &'static str,
+    },
+    /// The named section's FNV fingerprint seal does not match its bytes
+    /// (bit flip, partial overwrite).
+    SealMismatch {
+        /// Which section failed its integrity seal.
+        section: &'static str,
+    },
+    /// The bytes parse but describe an impossible model (shape mismatch,
+    /// unknown attention variant, zero-dimension matrix, trailing bytes).
+    Malformed {
+        /// What is inconsistent.
+        what: String,
+    },
+}
+
+impl SnapshotError {
+    /// Whether retrying the load might succeed (filesystem races, a
+    /// snapshot mid-replacement). Content errors are permanent: the same
+    /// bytes will fail the same way.
+    pub fn is_transient(&self) -> bool {
+        matches!(self, SnapshotError::Io { .. })
+    }
+
+    /// Short machine-readable class name (stats endpoint, logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            SnapshotError::Io { .. } => "io",
+            SnapshotError::BadMagic => "bad-magic",
+            SnapshotError::UnsupportedVersion { .. } => "unsupported-version",
+            SnapshotError::Truncated { .. } => "truncated",
+            SnapshotError::SealMismatch { .. } => "seal-mismatch",
+            SnapshotError::Malformed { .. } => "malformed",
+        }
+    }
+}
+
+impl fmt::Display for SnapshotError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            SnapshotError::Io { op, message } => write!(f, "snapshot {op} failed: {message}"),
+            SnapshotError::BadMagic => write!(f, "not a snapshot: bad magic"),
+            SnapshotError::UnsupportedVersion { found } => {
+                write!(f, "unsupported snapshot version {found}")
+            }
+            SnapshotError::Truncated { section } => {
+                write!(f, "snapshot truncated inside {section}")
+            }
+            SnapshotError::SealMismatch { section } => {
+                write!(f, "snapshot integrity seal mismatch in {section}")
+            }
+            SnapshotError::Malformed { what } => write!(f, "malformed snapshot: {what}"),
+        }
+    }
+}
+
+impl std::error::Error for SnapshotError {}
+
+/// Everything that can go wrong while serving.
+#[derive(Debug, Clone, PartialEq)]
+pub enum ServeError {
+    /// The snapshot artifact was rejected (see [`SnapshotError`]).
+    Snapshot(SnapshotError),
+    /// A request missed its deadline before (or while) its batch ran.
+    /// Deliberately distinct from [`amud_train::TrainError::Timeout`]:
+    /// that is a training-budget exhaustion, this is a per-request SLA.
+    Deadline {
+        /// How long the request waited before the server gave up on it.
+        waited_ms: u64,
+    },
+    /// The bounded admission queue (or the connection budget) was full
+    /// and the request was shed.
+    Overload {
+        /// Suggested client backoff before retrying.
+        retry_after_ms: u64,
+    },
+    /// The request itself is invalid (unknown verb, node id out of
+    /// range, unparsable deadline).
+    BadRequest {
+        /// What is wrong with the request.
+        message: String,
+    },
+    /// A socket-level failure (bind, accept, read, write).
+    Io {
+        /// Which operation failed.
+        op: &'static str,
+        /// The rendered OS error.
+        message: String,
+    },
+}
+
+impl ServeError {
+    /// Convenience constructor for [`ServeError::BadRequest`].
+    pub fn bad_request(message: impl Into<String>) -> Self {
+        ServeError::BadRequest { message: message.into() }
+    }
+
+    /// Convenience constructor for [`ServeError::Io`].
+    pub fn io(op: &'static str, e: &std::io::Error) -> Self {
+        ServeError::Io { op, message: e.to_string() }
+    }
+
+    /// Short machine-readable class name (stats endpoint, logs).
+    pub fn kind(&self) -> &'static str {
+        match self {
+            ServeError::Snapshot(_) => "snapshot",
+            ServeError::Deadline { .. } => "deadline",
+            ServeError::Overload { .. } => "overload",
+            ServeError::BadRequest { .. } => "bad-request",
+            ServeError::Io { .. } => "io",
+        }
+    }
+
+    /// The process exit code the CLI maps this error onto. Training owns
+    /// 3–8 (see [`amud_train::TrainError::exit_code`]); serving extends
+    /// the table with 9–12. Generic I/O stays on the reserved 1.
+    pub fn exit_code(&self) -> i32 {
+        match self {
+            ServeError::Io { .. } => 1,
+            ServeError::Snapshot(_) => 9,
+            ServeError::Deadline { .. } => 10,
+            ServeError::Overload { .. } => 11,
+            ServeError::BadRequest { .. } => 12,
+        }
+    }
+}
+
+impl fmt::Display for ServeError {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        match self {
+            ServeError::Snapshot(e) => write!(f, "{e}"),
+            ServeError::Deadline { waited_ms } => {
+                write!(f, "request missed its deadline after {waited_ms}ms")
+            }
+            ServeError::Overload { retry_after_ms } => {
+                write!(f, "overloaded; retry after {retry_after_ms}ms")
+            }
+            ServeError::BadRequest { message } => write!(f, "bad request: {message}"),
+            ServeError::Io { op, message } => write!(f, "{op} failed: {message}"),
+        }
+    }
+}
+
+impl std::error::Error for ServeError {}
+
+impl From<SnapshotError> for ServeError {
+    fn from(e: SnapshotError) -> Self {
+        ServeError::Snapshot(e)
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use amud_train::TrainError;
+
+    fn serve_errors() -> Vec<ServeError> {
+        vec![
+            ServeError::Snapshot(SnapshotError::BadMagic),
+            ServeError::Deadline { waited_ms: 5 },
+            ServeError::Overload { retry_after_ms: 50 },
+            ServeError::bad_request("nope"),
+        ]
+    }
+
+    #[test]
+    fn serve_exit_codes_are_distinct_and_extend_the_train_table() {
+        let train_codes: Vec<i32> = [
+            TrainError::bad_input("x").exit_code(),
+            TrainError::VerifierRejected { model: "X".into(), report: String::new() }.exit_code(),
+            TrainError::NonFiniteLoss { epoch: 0, retries: 0 }.exit_code(),
+            TrainError::GradientExplosion { epoch: 0, norm: 1.0, limit: 1.0, retries: 0 }
+                .exit_code(),
+            TrainError::Timeout { epoch: 0, elapsed_secs: 2.0, limit_secs: 1.0 }.exit_code(),
+        ]
+        .into();
+        let serve_codes: Vec<i32> = serve_errors().iter().map(|e| e.exit_code()).collect();
+        let mut all = train_codes.clone();
+        all.extend(&serve_codes);
+        all.extend([0, 1, 2, 4]); // success, generic I/O, usage, dataset parse
+                                  // ServeError::Io deliberately shares the reserved generic-I/O 1,
+                                  // so it is excluded from the uniqueness check above.
+        assert_eq!(ServeError::io("bind", &std::io::Error::other("x")).exit_code(), 1);
+        let mut sorted = all.clone();
+        sorted.sort_unstable();
+        sorted.dedup();
+        assert_eq!(sorted.len(), all.len(), "exit codes must not alias: {all:?}");
+    }
+
+    #[test]
+    fn serve_deadline_is_not_train_timeout() {
+        let train = TrainError::Timeout { epoch: 3, elapsed_secs: 2.0, limit_secs: 1.0 };
+        let serve = ServeError::Deadline { waited_ms: 7 };
+        assert_ne!(train.exit_code(), serve.exit_code());
+        assert_eq!(train.exit_code(), 8, "training budget exhaustion stays on 8");
+        assert_eq!(serve.exit_code(), 10, "request-deadline misses get their own code");
+        assert_ne!(train.kind(), serve.kind());
+    }
+
+    #[test]
+    fn snapshot_errors_convert_and_classify() {
+        let e: ServeError = SnapshotError::Truncated { section: "WEIGHTS" }.into();
+        assert_eq!(e.exit_code(), 9);
+        assert!(e.to_string().contains("WEIGHTS"), "{e}");
+        assert!(!SnapshotError::BadMagic.is_transient());
+        assert!(SnapshotError::Io { op: "read", message: "gone".into() }.is_transient());
+    }
+
+    #[test]
+    fn display_is_informative() {
+        let e = ServeError::Overload { retry_after_ms: 75 };
+        assert!(e.to_string().contains("75ms"), "{e}");
+        assert_eq!(e.kind(), "overload");
+        let s = SnapshotError::SealMismatch { section: "META" };
+        assert!(s.to_string().contains("META"), "{s}");
+        assert_eq!(s.kind(), "seal-mismatch");
+    }
+}

@@ -1,0 +1,43 @@
+//! `amud-serve` — a fault-tolerant online inference service for trained
+//! ADPA models (DESIGN.md §13).
+//!
+//! The paper's decoupled design (Eq. 9 propagation as one-time
+//! preprocessing, Eqs. 10–11 attention + MLP as row-local inference) is
+//! what makes online serving cheap: a trained model exports to a
+//! [`snapshot`] artifact bundling the propagated feature tensors with
+//! the learned weights, and the [`engine`] answers per-node queries by
+//! gathering rows and replaying the exact evaluation arithmetic of the
+//! training tape — bit-identical to a full-graph forward pass.
+//!
+//! The robustness story is layered:
+//!
+//! * **Crash-safe artifacts** — snapshots are written temp-file +
+//!   atomic-rename and sealed per section with FNV fingerprints;
+//!   torn, truncated, or bit-flipped files are rejected with a typed
+//!   [`SnapshotError`], never loaded ([`snapshot`]).
+//! * **Bounded admission** — every accepted request occupies one slot of
+//!   a fixed-capacity [`queue::AdmissionQueue`]; overload sheds with a
+//!   `retry_after_ms` hint instead of buffering ([`queue`], [`server`]).
+//! * **Deadlines** — requests carry deadlines; an expired request gets a
+//!   timeout reply without stalling the rest of its batch ([`server`]).
+//! * **Hot swap with graceful degradation** — a watcher stages validated
+//!   new snapshots for atomic between-batch swaps and keeps serving the
+//!   last-good engine (counting `degraded`) when a candidate is bad
+//!   ([`server`]).
+//!
+//! Everything is `std`-only and deterministic where it matters: the
+//! [`synthetic`] module mints structurally valid snapshots from a seed so
+//! the fault harness and benchmarks need no dataset or training run.
+
+pub mod engine;
+pub mod error;
+pub mod queue;
+pub mod server;
+pub mod snapshot;
+pub mod synthetic;
+
+pub use engine::{Engine, Prediction};
+pub use error::{ServeError, SnapshotError};
+pub use server::{Server, ServerConfig, Stats};
+pub use snapshot::{decode_snapshot, encode_snapshot, read_snapshot, write_snapshot, Snapshot};
+pub use synthetic::synthetic_snapshot;

@@ -111,6 +111,37 @@ pub fn truncate_fraction(text: &str, fraction: f64) -> String {
     text.chars().take(keep).collect()
 }
 
+/// Binary counterpart of [`corrupt_bytes`]: deterministically flips one
+/// random bit in each of `n_mutations` xorshift-chosen bytes. Used by the
+/// serving crate to prove snapshot seals reject bit rot with a typed
+/// error instead of silently loading a different model.
+pub fn corrupt_binary(bytes: &[u8], seed: u64, n_mutations: usize) -> Vec<u8> {
+    let mut out = bytes.to_vec();
+    if out.is_empty() {
+        return out;
+    }
+    let mut state = seed | 1;
+    let mut next = move || {
+        state ^= state >> 12;
+        state ^= state << 25;
+        state ^= state >> 27;
+        state.wrapping_mul(0x2545F4914F6CDD1D)
+    };
+    for _ in 0..n_mutations {
+        let idx = (next() as usize) % out.len();
+        let bit = (next() % 8) as u8;
+        out[idx] ^= 1 << bit;
+    }
+    out
+}
+
+/// Binary counterpart of [`truncate_fraction`] — the torn-write
+/// corruption class for binary artifacts.
+pub fn truncate_binary(bytes: &[u8], fraction: f64) -> Vec<u8> {
+    let keep = ((bytes.len() as f64) * fraction.clamp(0.0, 1.0)) as usize;
+    bytes[..keep].to_vec()
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -151,5 +182,26 @@ mod tests {
         assert_eq!(truncate_fraction(text, 0.5), "01234");
         assert_eq!(truncate_fraction(text, 0.0), "");
         assert_eq!(truncate_fraction(text, 1.0), text);
+    }
+
+    #[test]
+    fn binary_corruption_is_deterministic_bit_flips() {
+        let bytes: Vec<u8> = (0u8..64).collect();
+        let a = corrupt_binary(&bytes, 7, 5);
+        let b = corrupt_binary(&bytes, 7, 5);
+        assert_eq!(a, b, "same seed must corrupt identically");
+        assert_ne!(a, bytes, "mutations must actually land");
+        assert_eq!(a.len(), bytes.len());
+        let diff = a.iter().zip(&bytes).filter(|(x, y)| x != y).count();
+        assert!((1..=5).contains(&diff), "got {diff} mutated bytes");
+        assert!(corrupt_binary(&[], 7, 5).is_empty());
+    }
+
+    #[test]
+    fn binary_truncation_keeps_a_prefix() {
+        let bytes: Vec<u8> = (0u8..10).collect();
+        assert_eq!(truncate_binary(&bytes, 0.5), &bytes[..5]);
+        assert!(truncate_binary(&bytes, 0.0).is_empty());
+        assert_eq!(truncate_binary(&bytes, 1.0), bytes);
     }
 }

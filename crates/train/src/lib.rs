@@ -28,7 +28,9 @@ pub mod trainer;
 
 pub use data::GraphData;
 pub use error::TrainError;
-pub use faults::{corrupt_bytes, truncate_fraction, Fault, FaultPlan};
+pub use faults::{
+    corrupt_binary, corrupt_bytes, truncate_binary, truncate_fraction, Fault, FaultPlan,
+};
 pub use grid::{grid_search, GridFailure, GridOutcome, GridReport, HyperGrid, HyperPoint};
 pub use metrics::{accuracy, binary_auc, confusion_matrix, macro_f1, Summary};
 pub use model::Model;

@@ -1,12 +1,19 @@
 //! `amud` — command-line front door to the reproduction.
 //!
 //! ```text
-//! amud score   <dataset|file.amud>       AMUD report for a digraph
-//! amud train   <dataset> [model] [--verify-tape] [--max-retries N]
+//! amud score    <dataset|file.amud>      AMUD report for a digraph
+//! amud train    <dataset> [model] [--verify-tape] [--max-retries N]
 //!                                        train one model end-to-end,
 //!                                        optionally printing the tape
 //!                                        verifier's report first
-//! amud export  <dataset> <file.amud>     write a replica to disk
+//! amud export   <dataset> <file.amud>    write a replica to disk
+//! amud snapshot <dataset> --out <file.snap> [--tag N]
+//!                                        train ADPA and write a serving
+//!                                        snapshot artifact
+//! amud serve    --snapshot <file.snap> [--port N] [--queue-capacity N]
+//!               [--max-batch N] [--max-connections N]
+//!               [--default-deadline-ms N] [--watch-interval-ms N]
+//!               [--batch-delay-ms N]     serve predictions over TCP
 //! amud list                              datasets and models available
 //! ```
 //!
@@ -18,7 +25,8 @@
 //!
 //! Every failure maps onto a distinct exit code (see the README table):
 //! 1 I/O, 2 usage, 3 bad input, 4 dataset parse, 5 verifier rejected,
-//! 6 non-finite loss, 7 gradient explosion, 8 timeout.
+//! 6 non-finite loss, 7 gradient explosion, 8 train timeout, 9 snapshot
+//! rejected, 10 deadline, 11 overload, 12 bad request.
 
 use amud_repro::core::{paradigm, Adpa, AdpaConfig};
 use amud_repro::datasets::registry::all_specs;
@@ -200,6 +208,103 @@ fn cmd_train(target: &str, model_name: &str, verify_tape: bool, max_retries: Opt
     }
 }
 
+/// Small `--flag value` parser for the serving subcommands (they carry
+/// too many knobs for positional args).
+struct Flags(Vec<(String, String)>);
+
+impl Flags {
+    fn parse(args: &[String], allowed: &[&str]) -> Flags {
+        let mut out = Vec::new();
+        let mut it = args.iter();
+        while let Some(a) = it.next() {
+            let Some(name) = a.strip_prefix("--") else {
+                die(&format!("unexpected argument '{a}' (flags only here)"), 2);
+            };
+            if !allowed.contains(&name) {
+                die(&format!("unknown flag '--{name}' (allowed: --{})", allowed.join(", --")), 2);
+            }
+            let Some(value) = it.next() else {
+                die(&format!("--{name} needs a value"), 2);
+            };
+            out.push((name.to_string(), value.clone()));
+        }
+        Flags(out)
+    }
+
+    fn get(&self, name: &str) -> Option<&str> {
+        self.0.iter().rev().find(|(n, _)| n == name).map(|(_, v)| v.as_str())
+    }
+
+    fn num<T: std::str::FromStr>(&self, name: &str, default: T) -> T {
+        match self.get(name) {
+            None => default,
+            Some(v) => {
+                v.parse().unwrap_or_else(|_| die(&format!("--{name}: '{v}' is not a number"), 2))
+            }
+        }
+    }
+}
+
+fn cmd_snapshot(dataset: &str, flags: &Flags) {
+    let Some(out_path) = flags.get("out") else {
+        die("snapshot needs --out <file.snap>", 2);
+    };
+    let tag: u64 = flags.num("tag", 1);
+    let d = load_dataset(dataset);
+    let data = to_bundle(&d);
+    // TAINT-PURE(epochs): a user-facing epoch budget only bounds the
+    // training loop; it never enters tensor values or cache keys.
+    let epochs: usize =
+        std::env::var("AMUD_EPOCHS").ok().and_then(|v| v.parse().ok()).unwrap_or(150);
+    let cfg = TrainConfig { epochs, patience: 30, ..TrainConfig::default() };
+    println!("training ADPA on {} ({} nodes) for the snapshot...", d.name(), d.n_nodes());
+    let (prepared, report, _) = paradigm::prepare_topology(&data);
+    println!("AMUD S = {:.3} → {:?}", report.score, report.decision);
+    let mut model = Adpa::new(&prepared, AdpaConfig::default(), 0)
+        .unwrap_or_else(|e| die(&e.to_string(), e.exit_code()));
+    let result =
+        train(&mut model, &prepared, cfg, 0).unwrap_or_else(|e| die(&e.to_string(), e.exit_code()));
+    let snapshot = amud_repro::serve::Snapshot { tag, export: model.export() };
+    let bytes = amud_repro::serve::write_snapshot(std::path::Path::new(out_path), &snapshot)
+        .unwrap_or_else(|e| die(&e.to_string(), amud_serve_exit(&e)));
+    println!(
+        "wrote snapshot tag {tag} ({bytes} bytes, test acc {:.3}) to {out_path}",
+        result.test_acc
+    );
+}
+
+fn amud_serve_exit(e: &amud_repro::serve::SnapshotError) -> i32 {
+    amud_repro::serve::ServeError::from(e.clone()).exit_code()
+}
+
+fn cmd_serve(flags: &Flags) {
+    let Some(snapshot_path) = flags.get("snapshot") else {
+        die("serve needs --snapshot <file.snap>", 2);
+    };
+    let defaults = amud_repro::serve::ServerConfig::default();
+    let cfg = amud_repro::serve::ServerConfig {
+        snapshot_path: snapshot_path.into(),
+        port: flags.num("port", defaults.port),
+        queue_capacity: flags.num("queue-capacity", defaults.queue_capacity),
+        max_batch: flags.num("max-batch", defaults.max_batch),
+        max_connections: flags.num("max-connections", defaults.max_connections),
+        default_deadline_ms: flags.num("default-deadline-ms", defaults.default_deadline_ms),
+        watch_interval_ms: flags.num("watch-interval-ms", defaults.watch_interval_ms),
+        batch_delay_ms: flags.num("batch-delay-ms", defaults.batch_delay_ms),
+        ..defaults
+    };
+    let server = amud_repro::serve::Server::start(cfg)
+        .unwrap_or_else(|e| die(&e.to_string(), e.exit_code()));
+    println!("listening on 127.0.0.1:{}", server.port());
+    // Stdout is block-buffered when piped; the listening line is how
+    // harnesses learn the ephemeral port, so push it out now.
+    let _ = std::io::Write::flush(&mut std::io::stdout());
+    server.wait();
+    // A supervising harness may have closed our stdout long ago; a dead
+    // pipe must not turn a clean shutdown into a panic.
+    let _ = std::io::Write::write_all(&mut std::io::stdout(), b"server stopped\n");
+}
+
 fn cmd_export(dataset: &str, path: &str) {
     let d = load_dataset(dataset);
     let text = amud_repro::datasets::io::dataset_to_text(&d);
@@ -222,6 +327,36 @@ fn cmd_list() {
 
 fn main() {
     let raw: Vec<String> = std::env::args().skip(1).collect();
+    // The serving subcommands are flag-driven; route them before the
+    // legacy positional parser (which rejects unknown flags).
+    match raw.first().map(String::as_str) {
+        Some("snapshot") => {
+            let Some(dataset) = raw.get(1).filter(|d| !d.starts_with("--")) else {
+                die("usage: amud snapshot <dataset> --out <file.snap> [--tag N]", 2);
+            };
+            let flags = Flags::parse(&raw[2..], &["out", "tag"]);
+            cmd_snapshot(dataset, &flags);
+            return;
+        }
+        Some("serve") => {
+            let flags = Flags::parse(
+                &raw[1..],
+                &[
+                    "snapshot",
+                    "port",
+                    "queue-capacity",
+                    "max-batch",
+                    "max-connections",
+                    "default-deadline-ms",
+                    "watch-interval-ms",
+                    "batch-delay-ms",
+                ],
+            );
+            cmd_serve(&flags);
+            return;
+        }
+        _ => {}
+    }
     let verify_tape = raw.iter().any(|a| a == "--verify-tape");
     let mut max_retries: Option<usize> = None;
     let mut args: Vec<String> = Vec::new();
@@ -255,7 +390,7 @@ fn main() {
         Some("list") => cmd_list(),
         _ => {
             eprintln!(
-                "usage:\n  amud score  <dataset|file.amud>\n  amud train  <dataset> [model] [--verify-tape] [--max-retries N]\n  amud export <dataset> <file.amud>\n  amud list"
+                "usage:\n  amud score    <dataset|file.amud>\n  amud train    <dataset> [model] [--verify-tape] [--max-retries N]\n  amud export   <dataset> <file.amud>\n  amud snapshot <dataset> --out <file.snap> [--tag N]\n  amud serve    --snapshot <file.snap> [--port N] [...]\n  amud list"
             );
             std::process::exit(2);
         }

@@ -13,12 +13,13 @@
 //!
 //! The remaining crates are the substrates the paper depends on: a sparse
 //! graph engine ([`graph`]), an autodiff engine ([`nn`]), synthetic dataset
-//! replicas ([`datasets`]), fifteen baseline GNNs ([`models`]) and a training
-//! harness ([`train`]).
+//! replicas ([`datasets`]), fifteen baseline GNNs ([`models`]), a training
+//! harness ([`train`]) and an online inference service ([`serve`]).
 
 pub use amud_core as core;
 pub use amud_datasets as datasets;
 pub use amud_graph as graph;
 pub use amud_models as models;
 pub use amud_nn as nn;
+pub use amud_serve as serve;
 pub use amud_train as train;
