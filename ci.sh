@@ -96,10 +96,12 @@ cargo test -q --release --test serve_e2e -- ci_smoke
 echo "==> bench-serve --smoke"
 cargo run --release -q -p amud-bench --bin bench-serve -- --smoke --out /tmp/BENCH_serve_smoke.json
 
-# Kernel benchmark smoke run: times serial vs parallel on CI-sized shapes
-# and fails if any kernel's outputs diverge bitwise between the budgets.
-echo "==> bench-kernels --smoke"
-cargo run --release -q -p amud-bench --bin bench-kernels -- --smoke --out /tmp/BENCH_kernels_smoke.json
+# Kernel benchmark smoke run: times serial vs parallel on CI-sized shapes,
+# fails if any kernel's outputs diverge bitwise between the budgets, and
+# gates serial timings against the committed baseline (>10% + 0.25 ms per
+# kernel/shape is a regression).
+echo "==> bench-kernels --smoke --check"
+cargo run --release -q -p amud-bench --bin bench-kernels -- --smoke --out /tmp/BENCH_kernels_smoke.json --check BENCH_kernels.json
 
 # Precompute-cache smoke run: cold vs warm sweeps must produce bit-identical
 # tables and the warm pass must clear the 5x spmm-reduction gate.

@@ -11,11 +11,28 @@
 //! cargo run --release -p amud-bench --bin bench-kernels             # full shapes
 //! cargo run --release -p amud-bench --bin bench-kernels -- --smoke  # CI-sized
 //! cargo run --release -p amud-bench --bin bench-kernels -- --out p.json
+//! cargo run --release -p amud-bench --bin bench-kernels -- --smoke --check BENCH_kernels.json
 //! ```
 //!
-//! Speedup expectations are hardware-gated: on a single-core host the
-//! parallel budget collapses to 1 and `speedup` hovers around 1.0; the
-//! `host_threads` field records what the numbers were measured on.
+//! Speedup expectations are hardware-gated: when the parallel budget
+//! collapses to 1 thread the "parallel" run *is* the serial run (same
+//! budget, same partition, same code), so each kernel is measured once and
+//! the single number is reported for both columns; the `host_threads`
+//! field records what the numbers were measured on.
+//!
+//! Throughput columns are derived from `serial_ms` with fixed per-kernel
+//! formulas (documented on [`gemm_model`], [`stream_model`], and
+//! [`spmm_model`]) — they are *algorithmic* flop/traffic counts, not
+//! hardware counters, so they stay comparable across hosts and code
+//! versions.
+//!
+//! `--check <baseline.json>` re-reads a previously committed report and
+//! fails (exit 1) if any kernel/shape present in both runs regressed its
+//! `serial_ms` by more than 10% plus a 0.25 ms absolute noise floor (the
+//! floor absorbs host jitter on sub-millisecond kernels — observed at
+//! ±0.2 ms between back-to-back runs on a shared 1-core host — while a
+//! genuine 2× regression on any non-trivial shape still trips). Shapes
+//! absent from the baseline (e.g. smoke-only shapes) are skipped.
 
 use amud_graph::CsrMatrix;
 use amud_nn::DenseMatrix;
@@ -28,7 +45,21 @@ struct KernelResult {
     shape: String,
     serial_ms: f64,
     parallel_ms: f64,
+    /// Algorithmic flop count for the shape (0 for pure-movement kernels).
+    flops: f64,
+    /// Minimum memory traffic in bytes (each operand touched once).
+    bytes: f64,
     bit_identical: bool,
+}
+
+impl KernelResult {
+    fn gflops(&self) -> f64 {
+        self.flops / (self.serial_ms * 1e-3) / 1e9
+    }
+
+    fn gbs(&self) -> f64 {
+        self.bytes / (self.serial_ms * 1e-3) / 1e9
+    }
 }
 
 /// Minimum wall-clock over `reps` runs (the standard noise filter for
@@ -85,8 +116,74 @@ fn skewed_operator(n: usize, seed: u64) -> CsrMatrix {
 
 fn run_pair(reps: usize, par_budget: usize, f: impl Fn() -> Vec<f32>) -> (f64, f64, bool) {
     let (serial_ms, serial_out) = amud_par::with_threads(1, || time_min(reps, &f));
+    if par_budget <= 1 {
+        // A 1-thread budget takes the identical code path as the serial
+        // run (same partitioning, same fallback); timing it separately
+        // would only sample scheduler noise and report it as a speedup or
+        // a regression. Measure once, report the one number for both.
+        return (serial_ms, serial_ms, true);
+    }
     let (parallel_ms, parallel_out) = amud_par::with_threads(par_budget, || time_min(reps, &f));
     (serial_ms, parallel_ms, bits_equal(&serial_out, &parallel_out))
+}
+
+/// Throughput model for the GEMM family (`matmul`, `matmul_transb`,
+/// `matmul_transa`) at `n×f×h`: `2·n·f·h` flops; minimum traffic reads
+/// each operand once and writes the output once, `4·(n·f + f·h + n·h)`
+/// bytes.
+fn gemm_model(n: usize, f: usize, h: usize) -> (f64, f64) {
+    ((2 * n * f * h) as f64, (4 * (n * f + f * h + n * h)) as f64)
+}
+
+/// Throughput model for streaming elementwise kernels over `elems`
+/// elements: `flops_per_elem` ALU ops per element (transcendentals like
+/// `exp` count as one — treat GFLOP/s as a relative index, not ALU
+/// utilization) and one read plus one write per element, `2·4·elems`
+/// bytes.
+fn stream_model(elems: usize, flops_per_elem: usize) -> (f64, f64) {
+    ((elems * flops_per_elem) as f64, (8 * elems) as f64)
+}
+
+/// Throughput model for `spmm` with `nnz` nonzeros against an `n×x_cols`
+/// dense block: `2·nnz·x_cols` flops; traffic gathers one dense row per
+/// nonzero plus the values, the `u32` column indices, and the output
+/// write: `4·(2·nnz + nnz·x_cols + n·x_cols)` bytes.
+fn spmm_model(n: usize, x_cols: usize, nnz: usize) -> (f64, f64) {
+    ((2 * nnz * x_cols) as f64, (4 * (2 * nnz + nnz * x_cols + n * x_cols)) as f64)
+}
+
+/// Extracts the string value of `"key": "…"` from a single JSON-line `row`.
+fn json_str_field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = row.find(&tag)? + tag.len();
+    let end = row[start..].find('"')?;
+    Some(&row[start..start + end])
+}
+
+/// Extracts the numeric value of `"key": <num>` from a single JSON-line
+/// `row`.
+fn json_num_field(row: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = row.find(&tag)? + tag.len();
+    let num: String = row[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+/// Parses a previous `BENCH_kernels.json` into `(kernel, shape) →
+/// serial_ms`. The format is this binary's own stable hand-rendered JSON:
+/// one result object per line, so a line scan is exact.
+fn parse_baseline(text: &str) -> Vec<((String, String), f64)> {
+    text.lines()
+        .filter_map(|row| {
+            let kernel = json_str_field(row, "kernel")?;
+            let shape = json_str_field(row, "shape")?;
+            let serial = json_num_field(row, "serial_ms")?;
+            Some(((kernel.to_string(), shape.to_string()), serial))
+        })
+        .collect()
 }
 
 fn json_escape_free(s: &str) -> &str {
@@ -102,10 +199,19 @@ fn main() {
         .position(|a| a == "--out")
         .and_then(|i| args.get(i + 1).cloned())
         .unwrap_or_else(|| "BENCH_kernels.json".to_string());
+    let check_path = args.iter().position(|a| a == "--check").map(|i| match args.get(i + 1) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("error: --check requires a baseline path");
+            std::process::exit(2);
+        }
+    });
 
     let par_budget = amud_par::max_threads();
     let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
-    let reps = if smoke { 2 } else { 5 };
+    // Same rep count in smoke mode: the min-of-reps noise filter is what
+    // makes `--check` trustworthy, and the smoke shapes are cheap.
+    let reps = 5;
     // (nodes, features, hidden): tiny replica, default replica cap, and a
     // full-scale shape whose k-extent crosses TRANSA_BLOCK_ROWS.
     let dense_shapes: &[(usize, usize, usize)] = if smoke {
@@ -125,12 +231,16 @@ fn main() {
         let g = seeded(n, h, 4);
         let shape = format!("{n}x{f}x{h}");
 
+        let (gemm_flops, gemm_bytes) = gemm_model(n, f, h);
+
         let (s, p, ok) = run_pair(reps, par_budget, || a.matmul(&b).as_slice().to_vec());
         results.push(KernelResult {
             kernel: "matmul",
             shape: shape.clone(),
             serial_ms: s,
             parallel_ms: p,
+            flops: gemm_flops,
+            bytes: gemm_bytes,
             bit_identical: ok,
         });
 
@@ -140,6 +250,8 @@ fn main() {
             shape: shape.clone(),
             serial_ms: s,
             parallel_ms: p,
+            flops: gemm_flops,
+            bytes: gemm_bytes,
             bit_identical: ok,
         });
 
@@ -149,15 +261,20 @@ fn main() {
             shape: shape.clone(),
             serial_ms: s,
             parallel_ms: p,
+            flops: gemm_flops,
+            bytes: gemm_bytes,
             bit_identical: ok,
         });
 
+        let (t_flops, t_bytes) = stream_model(n * f, 0);
         let (s, p, ok) = run_pair(reps, par_budget, || a.transpose().as_slice().to_vec());
         results.push(KernelResult {
             kernel: "transpose",
             shape: format!("{n}x{f}"),
             serial_ms: s,
             parallel_ms: p,
+            flops: t_flops,
+            bytes: t_bytes,
             bit_identical: ok,
         });
 
@@ -171,18 +288,21 @@ fn main() {
                 for v in row.iter_mut() {
                     *v = (*v - max).exp();
                 }
-                let sum = amud_par::ordered_sum(row);
+                let sum = amud_par::lane_sum(row);
                 for v in row.iter_mut() {
                     *v /= sum;
                 }
             });
             m.as_slice().to_vec()
         });
+        let (sm_flops, sm_bytes) = stream_model(n * f, 9);
         results.push(KernelResult {
             kernel: "elementwise_softmax",
             shape: format!("{n}x{f}"),
             serial_ms: s,
             parallel_ms: p,
+            flops: sm_flops,
+            bytes: sm_bytes,
             bit_identical: ok,
         });
     }
@@ -196,11 +316,14 @@ fn main() {
             op.spmm(x.as_slice(), x_cols, &mut out);
             out
         });
+        let (sp_flops, sp_bytes) = spmm_model(n, x_cols, op.nnz());
         results.push(KernelResult {
             kernel: "spmm",
             shape,
             serial_ms: s,
             parallel_ms: p,
+            flops: sp_flops,
+            bytes: sp_bytes,
             bit_identical: ok,
         });
     }
@@ -211,17 +334,19 @@ fn main() {
         if smoke { " (smoke)" } else { "" }
     );
     println!(
-        "{:<20} {:<34} {:>10} {:>10} {:>8}  bits",
-        "kernel", "shape", "serial", "parallel", "speedup"
+        "{:<20} {:<34} {:>10} {:>10} {:>8} {:>8} {:>7}  bits",
+        "kernel", "shape", "serial", "parallel", "speedup", "GFLOP/s", "GB/s"
     );
     for r in &results {
         println!(
-            "{:<20} {:<34} {:>8.3}ms {:>8.3}ms {:>7.2}x  {}",
+            "{:<20} {:<34} {:>8.3}ms {:>8.3}ms {:>7.2}x {:>8.2} {:>7.2}  {}",
             r.kernel,
             r.shape,
             r.serial_ms,
             r.parallel_ms,
             r.serial_ms / r.parallel_ms,
+            r.gflops(),
+            r.gbs(),
             if r.bit_identical { "identical" } else { "DIVERGED" }
         );
     }
@@ -235,12 +360,14 @@ fn main() {
     json.push_str("  \"results\": [\n");
     for (i, r) in results.iter().enumerate() {
         json.push_str(&format!(
-            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \"speedup\": {:.4}, \"bit_identical\": {}}}{}\n",
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"serial_ms\": {:.4}, \"parallel_ms\": {:.4}, \"speedup\": {:.4}, \"gflops\": {:.4}, \"gbs\": {:.4}, \"bit_identical\": {}}}{}\n",
             json_escape_free(r.kernel),
             json_escape_free(&r.shape),
             r.serial_ms,
             r.parallel_ms,
             r.serial_ms / r.parallel_ms,
+            r.gflops(),
+            r.gbs(),
             r.bit_identical,
             if i + 1 < results.len() { "," } else { "" }
         ));
@@ -255,5 +382,48 @@ fn main() {
     if results.iter().any(|r| !r.bit_identical) {
         eprintln!("error: a kernel diverged between serial and parallel runs");
         std::process::exit(1);
+    }
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            eprintln!("error: baseline {path} has no parseable result rows");
+            std::process::exit(2);
+        }
+        let mut checked = 0usize;
+        let mut regressed = 0usize;
+        for r in &results {
+            let Some((_, base_ms)) =
+                baseline.iter().find(|((k, s), _)| *k == r.kernel && *s == r.shape)
+            else {
+                continue; // smoke-only shape, or a kernel the baseline predates
+            };
+            checked += 1;
+            // 10% relative budget plus a 0.25 ms absolute floor so
+            // sub-millisecond kernels are not gated on host jitter.
+            let limit = base_ms * 1.10 + 0.25;
+            if r.serial_ms > limit {
+                regressed += 1;
+                eprintln!(
+                    "regression: {} {} serial {:.3}ms exceeds {:.3}ms (baseline {:.3}ms +10% +0.25ms)",
+                    r.kernel, r.shape, r.serial_ms, limit, base_ms
+                );
+            }
+        }
+        println!("check vs {path}: {checked} kernel/shape pair(s) compared, {regressed} regressed");
+        if regressed > 0 {
+            std::process::exit(1);
+        }
+        if checked == 0 {
+            eprintln!("error: no kernel/shape pair overlapped the baseline — nothing was gated");
+            std::process::exit(2);
+        }
     }
 }

@@ -94,10 +94,7 @@ pub mod strategy {
         }
     }
 
-    pub(crate) fn vec_strategy<S: Strategy>(
-        element: S,
-        len: impl IntoLenRange,
-    ) -> VecStrategy<S> {
+    pub(crate) fn vec_strategy<S: Strategy>(element: S, len: impl IntoLenRange) -> VecStrategy<S> {
         VecStrategy { element, len: len.into_len_range() }
     }
 }
@@ -175,9 +172,9 @@ where
 {
     // Seed derived from the test name so distinct properties explore
     // distinct streams but every run of the suite is identical.
-    let seed = name.bytes().fold(0xcbf2_9ce4_8422_2325u64, |h, b| {
-        (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3)
-    });
+    let seed = name
+        .bytes()
+        .fold(0xcbf2_9ce4_8422_2325u64, |h, b| (h ^ b as u64).wrapping_mul(0x0000_0100_0000_01B3));
     let mut rng = StdRng::seed_from_u64(seed);
     for i in 0..cases {
         if let Err(e) = case(&mut rng) {

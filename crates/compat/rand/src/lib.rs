@@ -247,7 +247,10 @@ mod tests {
         let mut sorted = v.clone();
         sorted.sort_unstable();
         assert_eq!(sorted, (0..50).collect::<Vec<_>>());
-        assert_ne!(v, sorted, "a 50-element shuffle leaving order intact is astronomically unlikely");
+        assert_ne!(
+            v, sorted,
+            "a 50-element shuffle leaving order intact is astronomically unlikely"
+        );
     }
 
     #[test]

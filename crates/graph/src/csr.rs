@@ -16,6 +16,7 @@
 //! * All column indices are `< n_cols`.
 
 use crate::{GraphError, Result};
+use amud_par::lanes;
 use std::sync::atomic::{AtomicU64, Ordering};
 
 /// Process-wide count of [`CsrMatrix::spmm`] invocations.
@@ -209,12 +210,17 @@ impl CsrMatrix {
     /// row-major `n_cols × x_cols` and `out` is row-major `n_rows × x_cols`.
     ///
     /// This is the hot loop of feature propagation; it streams each sparse
-    /// row once and accumulates whole dense rows, which vectorises well.
-    /// Output rows are split into per-thread blocks with *nnz-balanced*
-    /// boundaries (`row_ptr` is exactly the cumulative-work prefix the
-    /// partitioner wants), so one hub row cannot serialise the whole
-    /// product. Every row is reduced by the same scalar loop as serial —
-    /// the result is bit-identical at any `AMUD_THREADS`.
+    /// row once and accumulates whole dense rows through the lane axpy
+    /// microkernels (`amud_par::lanes`): four nonzeros at a time feed one
+    /// [`lanes::lane_axpy4`], so the output row stays register-resident
+    /// across four gathered rows of `X`. Per output element the terms
+    /// still arrive in ascending nonzero order, one fused `+= v·x` each —
+    /// bit-identical to the legacy scalar loop, and therefore to serial at
+    /// any `AMUD_THREADS`. Output rows are split into per-thread blocks
+    /// with *nnz-balanced* boundaries (`row_ptr` is exactly the
+    /// cumulative-work prefix the partitioner wants), so one hub row
+    /// cannot serialise the whole product; blocks below a per-part work
+    /// floor degenerate to the serial path (see [`Self::spmm_parts`]).
     ///
     /// # Panics
     /// Panics on shape mismatch.
@@ -230,31 +236,47 @@ impl CsrMatrix {
         if x_cols == 0 {
             return;
         }
+        let x_row = |c: u32| &x[c as usize * x_cols..(c as usize + 1) * x_cols];
         let parts = self.spmm_parts(x_cols);
         amud_par::par_row_blocks_mut(out, x_cols, &parts, |_, rows, block| {
             block.fill(0.0);
             for (out_row, r) in block.chunks_exact_mut(x_cols).zip(rows) {
-                for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
-                    let x_row = &x[c as usize * x_cols..(c as usize + 1) * x_cols];
-                    for (o, &xv) in out_row.iter_mut().zip(x_row) {
-                        *o += v * xv;
-                    }
+                let cols = self.row_cols(r);
+                let vals = self.row_values(r);
+                let main = cols.len() - cols.len() % 4;
+                for tb in 0..main / 4 {
+                    let t = tb * 4;
+                    lanes::lane_axpy4(
+                        out_row,
+                        [vals[t], vals[t + 1], vals[t + 2], vals[t + 3]],
+                        x_row(cols[t]),
+                        x_row(cols[t + 1]),
+                        x_row(cols[t + 2]),
+                        x_row(cols[t + 3]),
+                    );
+                }
+                for (&c, &v) in cols.iter().zip(vals).skip(main) {
+                    lanes::lane_axpy(out_row, v, x_row(c));
                 }
             }
         });
     }
 
-    /// Row partition for [`Self::spmm`]: a single range when the product is
-    /// too small to fan out, otherwise nnz-balanced cuts of `row_ptr`.
-    /// Purely a function of the sparsity pattern and `x_cols`.
+    /// Row partition for [`Self::spmm`]: nnz-balanced cuts of `row_ptr`,
+    /// with the part count capped so every part carries at least
+    /// [`SPMM_MIN_FLOPS_PER_PART`] multiply-adds — below that a part
+    /// finishes in microseconds and the pool handoff dominates, so small
+    /// products degenerate to a single serial range. Purely a function of
+    /// the sparsity pattern, `x_cols`, and the thread budget.
     fn spmm_parts(&self, x_cols: usize) -> Vec<std::ops::Range<usize>> {
-        /// Minimum multiply-add count before `spmm` fans out.
-        const SPMM_MIN_FLOPS: usize = 1 << 15;
-        let threads = amud_par::current_threads();
-        if threads <= 1 || self.nnz().saturating_mul(x_cols) < SPMM_MIN_FLOPS {
+        /// Minimum multiply-adds *per part* before `spmm` fans out.
+        const SPMM_MIN_FLOPS_PER_PART: usize = 1 << 15;
+        let work = self.nnz().saturating_mul(x_cols);
+        let parts = amud_par::current_threads().min(work / SPMM_MIN_FLOPS_PER_PART).max(1);
+        if parts <= 1 {
             std::iter::once(0..self.n_rows).collect()
         } else {
-            amud_par::split_by_weight(&self.row_ptr, threads)
+            amud_par::split_by_weight(&self.row_ptr, parts)
         }
     }
 

@@ -87,13 +87,44 @@ proptest! {
     }
 }
 
-/// A shape big enough to clear the serial-fallback threshold, so the
-/// nnz-balanced parallel path is what's actually compared.
+/// Every `spmm` output element must be bitwise equal to the legacy scalar
+/// loop (ascending nonzero order): the lane axpy microkernels are
+/// order-preserving by construction. Dense widths ≡ 1 and 7 (mod 8) force
+/// the lane tail, widths < 4 force the nonzero-block tail.
+#[test]
+fn spmm_lane_tails_match_the_scalar_reference() {
+    for x_cols in [1usize, 2, 3, 5, 7, 8, 9, 15, 17, 33, 39] {
+        let n = 120;
+        let m = skewed_csr(n, 9000 + x_cols as u64);
+        let x = dense(n, x_cols, 600 + x_cols as u64);
+        let mut got = vec![f32::NAN; n * x_cols];
+        m.spmm(&x, x_cols, &mut got);
+        let mut want = vec![0.0f32; n * x_cols];
+        for r in 0..n {
+            for (&c, &v) in m.row_cols(r).iter().zip(m.row_values(r)) {
+                for j in 0..x_cols {
+                    want[r * x_cols + j] += v * x[c as usize * x_cols + j];
+                }
+            }
+        }
+        for (i, (g, w)) in got.iter().zip(&want).enumerate() {
+            assert_eq!(
+                g.to_bits(),
+                w.to_bits(),
+                "spmm x_cols={x_cols} elem {i} diverged from the scalar reference"
+            );
+        }
+    }
+}
+
+/// A shape big enough to clear the per-part serial-fallback threshold
+/// with at least two parts, so the nnz-balanced parallel path is what's
+/// actually compared.
 #[test]
 fn spmm_above_threshold_is_thread_invariant() {
     let n = 1500;
     let m = skewed_csr(n, 424242);
-    assert!(m.nnz() * 32 >= 1 << 15, "fixture must clear the fan-out threshold");
+    assert!(m.nnz() * 32 >= 2 << 15, "fixture must be worth at least two parallel parts");
     let x = dense(n, 32, 31337);
     let mut serial = vec![0.0f32; n * 32];
     amud_par::with_threads(1, || m.spmm(&x, 32, &mut serial));

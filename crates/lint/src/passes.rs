@@ -564,8 +564,10 @@ fn pass_sync_primitives(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) {
     }
 }
 
-/// Unordered float reductions inside `par_*` closures.
+/// Unordered float reductions inside `par_*` closures, plus hand-rolled
+/// `[f32; N]` lane-accumulator folds anywhere in the file.
 fn pass_float_determinism(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) {
+    pass_raw_lane_accumulators(path, ix, out);
     for body in ix.par_closure_bodies() {
         for i in body.clone() {
             if !ix.is_live(i) {
@@ -591,7 +593,7 @@ fn pass_float_determinism(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) 
                             "iterator `.{}(…)` inside a parallel closure",
                             ix.toks[name].text
                         ),
-                        Some("use amud_par::ordered_sum / ordered_dot (the approved ascending-order folds) or an explicit indexed loop"),
+                        Some("use amud_par::lane_sum / lane_dot (the canonical lane-folded order) or ordered_sum / ordered_dot, or an explicit indexed loop"),
                     ));
                 }
                 continue;
@@ -623,10 +625,113 @@ fn pass_float_determinism(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) 
                             "`{} {}` accumulates into a closure-local inside a parallel region",
                             ix.toks[lhs].text, t.text
                         ),
-                        Some("reduce via amud_par::ordered_sum / ordered_dot, or write each element through the task's own output block"),
+                        Some("reduce via amud_par::lane_sum / lane_dot (or ordered_sum / ordered_dot), or write each element through the task's own output block"),
                     ));
                 }
             }
+        }
+    }
+}
+
+/// A float literal token: has a decimal point or an explicit f32/f64
+/// suffix (`0.0`, `0.0f32`, `0f32`, `1e-3f32`, …).
+fn is_float_literal(t: &crate::tokenizer::Tok) -> bool {
+    t.kind == TokKind::NumLit
+        && (t.text.contains('.') || t.text.ends_with("f32") || t.text.ends_with("f64"))
+}
+
+/// Hand-rolled lane accumulators: `let mut acc = [0.0f32; N]` (or with an
+/// explicit `[f32; N]` type ascription) later folded through an indexed
+/// compound assignment `acc[…] += …`. That is a partial-sums reduction
+/// whose tree shape is pinned nowhere — exactly the pattern `amud_par::
+/// lanes` exists to own. Outside `crates/par` the fold must go through
+/// `lane_sum`/`lane_dot`, whose reduction tree is canonical and
+/// proptested, so the autovectorizer story never forks the numerics.
+fn pass_raw_lane_accumulators(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) {
+    for i in 0..ix.toks.len() {
+        if !ix.is_live(i) || !ix.toks[i].is_ident("let") {
+            continue;
+        }
+        let Some(mut_i) = next_code(&ix.toks, i + 1).filter(|&j| ix.toks[j].is_ident("mut")) else {
+            continue;
+        };
+        let Some(name_i) = next_code(&ix.toks, mut_i + 1) else { continue };
+        if ix.toks[name_i].kind != TokKind::Ident {
+            continue;
+        }
+        let name = ix.toks[name_i].text.clone();
+        // Optional `: [f32; N]` ascription.
+        let mut j = match next_code(&ix.toks, name_i + 1) {
+            Some(j) => j,
+            None => continue,
+        };
+        let mut ascribed_float_array = false;
+        if ix.toks[j].is_punct(":") {
+            let Some(open) = next_code(&ix.toks, j + 1).filter(|&k| ix.toks[k].is_punct("["))
+            else {
+                continue;
+            };
+            ascribed_float_array = next_code(&ix.toks, open + 1)
+                .map(|k| ix.toks[k].is_ident("f32") || ix.toks[k].is_ident("f64"))
+                .unwrap_or(false);
+            let Some(close) = match_delim(&ix.toks, open) else { continue };
+            j = match next_code(&ix.toks, close + 1) {
+                Some(j) => j,
+                None => continue,
+            };
+        }
+        if !ix.toks[j].is_punct("=") {
+            continue;
+        }
+        // Repeat-array float init: `[<float-lit>; <len>]`.
+        let float_repeat_init = next_code(&ix.toks, j + 1)
+            .filter(|&k| ix.toks[k].is_punct("["))
+            .and_then(|open| {
+                let lit = next_code(&ix.toks, open + 1)?;
+                let semi = next_code(&ix.toks, lit + 1)?;
+                Some(is_float_literal(&ix.toks[lit]) && ix.toks[semi].is_punct(";"))
+            })
+            .unwrap_or(false);
+        if !ascribed_float_array && !float_repeat_init {
+            continue;
+        }
+        // Is the accumulator ever folded by index? `acc[…] += …` (or any
+        // compound float assignment through an index).
+        let mut k = name_i + 1;
+        let mut folded = false;
+        while let Some(u) =
+            ix.toks[k..].iter().position(|t| t.text == name && t.kind == TokKind::Ident)
+        {
+            let use_i = k + u;
+            k = use_i + 1;
+            if !ix.is_live(use_i) {
+                continue;
+            }
+            let Some(open) = next_code(&ix.toks, use_i + 1).filter(|&v| ix.toks[v].is_punct("["))
+            else {
+                continue;
+            };
+            let Some(close) = match_delim(&ix.toks, open) else { continue };
+            let compound = next_code(&ix.toks, close + 1)
+                .map(|v| {
+                    ix.toks[v].kind == TokKind::Punct
+                        && matches!(ix.toks[v].text.as_str(), "+=" | "-=" | "*=" | "/=")
+                })
+                .unwrap_or(false);
+            if compound {
+                folded = true;
+                break;
+            }
+        }
+        if folded {
+            out.push(violation(
+                path,
+                ix,
+                name_i,
+                RuleKind::FloatDeterminism,
+                format!("raw `[f32; N]` lane accumulator `{name}` folded outside crates/par"),
+                Some("partial-sums reductions belong to amud_par::lanes — reduce via amud_par::lane_sum / lane_dot so the tree shape stays canonical"),
+            ));
         }
     }
 }

@@ -79,6 +79,31 @@ fn exit_1_on_each_interprocedural_fixture() {
 }
 
 #[test]
+fn exit_1_on_float_determinism_fixture() {
+    // float-determinism keys on its path label too (crates/par is exempt),
+    // so stage the fixture under a governed crate path like the
+    // interprocedural cases above.
+    let dir = scratch().join("float-determinism");
+    let rel_label = "crates/train/src/fixture.rs";
+    let dest = dir.join(rel_label);
+    std::fs::create_dir_all(dest.parent().expect("label has a parent dir"))
+        .expect("create staged crate dir");
+    std::fs::copy(fixture("float_determinism.rs"), &dest).expect("stage fixture");
+    let out = Command::new(env!("CARGO_BIN_EXE_amud-lint"))
+        .current_dir(&dir)
+        .arg(rel_label)
+        .output()
+        .expect("spawn amud-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("float-determinism"), "must trip float-determinism: {stdout}");
+    assert!(
+        stdout.contains("lane accumulator"),
+        "must include the raw lane-accumulator finding: {stdout}"
+    );
+}
+
+#[test]
 fn exit_2_on_unknown_flag() {
     let out = run(&["--frobnicate"]);
     assert_eq!(out.status.code(), Some(2));

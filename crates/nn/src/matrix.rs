@@ -7,33 +7,55 @@
 //! performance-book guidance (no bounds checks in inner loops thanks to
 //! slice windows, no allocation inside kernels).
 //!
-//! The hot kernels run on the `amud-par` runtime (DESIGN.md §9):
+//! The hot kernels are register-blocked lane microkernels from
+//! `amud_par::lanes` running on the `amud-par` runtime (DESIGN.md §9, §14):
 //!
-//! * `matmul` / `matmul_transb` parallelise over disjoint blocks of
-//!   *output rows*, each block running the identical scalar row loop the
-//!   serial kernel runs — so the result is bit-identical to serial at any
-//!   `AMUD_THREADS`.
+//! * `matmul` keeps the classic ikj axpy orientation but blocks `k` by 4
+//!   ([`lanes::lane_axpy4`]): the output row stays register-resident
+//!   across four weighted input rows. Per output element the
+//!   floating-point op sequence is *unchanged* (ascending `k`, one
+//!   `+=`-fused multiply-add per term), so the blocking is bitwise inert.
+//! * `matmul_transb` reduces each output element through the canonical
+//!   lane-fold order (`amud_par::lane_dot`, computed four outputs at a
+//!   time by [`lanes::lane_dot4`]) — the one kernel whose reduction order
+//!   changed when the microkernels landed, because the legacy scalar dot
+//!   was a single serial FP dependency chain the hardware could not
+//!   pipeline. The lane order is a pure function of the k-extent, so it
+//!   is still identical across thread counts.
 //! * `matmul_transa` (the gradient path) scatters along its `k` loop, so
 //!   it is computed as per-block partial products over a **fixed** k-block
 //!   structure ([`TRANSA_BLOCK_ROWS`] rows per block, independent of the
-//!   thread count) folded in ascending block order — deterministic at any
-//!   thread count, and exactly the legacy serial kernel whenever the
-//!   k-extent fits one block (which covers every default-scale dataset).
-//! * the elementwise helpers (`par_map`, `par_zip_assign`,
-//!   `par_rows_mut`) split on fixed element/row boundaries; per-element
-//!   work is order-free, so they too are bit-identical to serial.
+//!   thread count) folded in ascending block order; inside a block the
+//!   scatter is the same 4-way `lane_axpy4` as `matmul`, ascending `k`
+//!   per element — deterministic at any thread count, and bit-identical
+//!   to the legacy serial kernel.
+//! * the elementwise helpers (`map`, `par_zip_assign`, `par_rows_mut`)
+//!   split on fixed element/row boundaries; per-element work is
+//!   order-free, so they are bit-identical to serial.
 //!
-//! Small inputs skip the pool entirely via work thresholds (pure
-//! functions of the shape, so the serial/parallel decision is itself
-//! deterministic).
+//! Small inputs skip the pool entirely via *per-part* work thresholds: a
+//! shape fans out into `p` parts only if every part carries at least the
+//! threshold's worth of work, so sub-threshold shapes (e.g. a 1200×128
+//! row softmax) run the serial path instead of paying pool handoff for
+//! microsecond-scale row loops. The part count is a pure function of
+//! (shape, thread budget), so the serial/parallel decision is itself
+//! deterministic — and by the bit-identity contract the choice is
+//! unobservable in the output bits.
 
+use amud_par::lanes;
 use rand::Rng;
 use std::ops::Range;
 
-/// Minimum multiply-add count before a matmul-family kernel fans out.
-const PAR_MIN_FLOPS: usize = 1 << 15;
-/// Minimum element count before an elementwise helper fans out.
-const PAR_MIN_ELEMS: usize = 1 << 13;
+/// Minimum multiply-adds *per part* before a matmul-family kernel fans
+/// out: a part below ~32k mul-adds finishes in single-digit microseconds,
+/// comparable to the pool handoff itself.
+const PAR_MIN_FLOPS_PER_PART: usize = 1 << 15;
+/// Minimum elements *per part* for the streaming helpers (elementwise
+/// maps, row softmax/normalise, argmax). These are memory-bound single
+/// passes — far cheaper per element than a matmul flop — so the bar for
+/// fanning out is correspondingly higher (256k elements ≈ 1 MiB per
+/// part). This is what keeps a 1200×128 softmax on the serial path.
+const PAR_MIN_STREAM_ELEMS_PER_PART: usize = 1 << 18;
 /// Fixed k-extent of one `matmul_transa` reduction block. Chosen above the
 /// default replica node cap (1200) so every tier-1 training shape stays in
 /// the single-block regime and reproduces the legacy serial kernel bit for
@@ -43,25 +65,46 @@ const TRANSA_BLOCK_ROWS: usize = 2048;
 /// Cap on `matmul_transa` partial buffers (bounds scratch memory).
 const TRANSA_MAX_BLOCKS: usize = 64;
 
-/// Output-row partition for the matmul-family kernels: one range per
-/// participating thread, or a single range when the matrix is too small
-/// to be worth fanning out. Purely shape-driven.
+/// Part count for `work` total units under a `min_per_part` granularity
+/// floor: as many parts as the thread budget allows while keeping every
+/// part at or above the floor. Purely (shape, budget)-driven.
+fn bounded_parts(work: usize, min_per_part: usize) -> usize {
+    amud_par::current_threads().min(work / min_per_part.max(1)).max(1)
+}
+
+/// Output-row partition for the matmul-family kernels: up to one range
+/// per participating thread, fewer when rows are scarce or each part
+/// would fall under [`PAR_MIN_FLOPS_PER_PART`]. Purely shape-driven.
 fn output_row_parts(n_rows: usize, flops_per_row: usize) -> Vec<Range<usize>> {
-    let threads = amud_par::current_threads();
-    if threads <= 1 || n_rows.saturating_mul(flops_per_row) < PAR_MIN_FLOPS {
+    let parts = bounded_parts(n_rows.saturating_mul(flops_per_row), PAR_MIN_FLOPS_PER_PART)
+        .min(n_rows.max(1));
+    if parts <= 1 {
         std::iter::once(0..n_rows).collect()
     } else {
-        amud_par::split_even(n_rows, threads)
+        amud_par::split_even(n_rows, parts)
     }
 }
 
-/// Element partition for the elementwise helpers (same policy).
+/// Row partition for the streaming per-row helpers (softmax, normalise,
+/// argmax): same policy as [`output_row_parts`] under the higher
+/// [`PAR_MIN_STREAM_ELEMS_PER_PART`] granularity floor.
+fn stream_row_parts(n_rows: usize, elems_per_row: usize) -> Vec<Range<usize>> {
+    let parts = bounded_parts(n_rows.saturating_mul(elems_per_row), PAR_MIN_STREAM_ELEMS_PER_PART)
+        .min(n_rows.max(1));
+    if parts <= 1 {
+        std::iter::once(0..n_rows).collect()
+    } else {
+        amud_par::split_even(n_rows, parts)
+    }
+}
+
+/// Element partition for the elementwise helpers (streaming policy).
 fn elem_parts(len: usize) -> Vec<Range<usize>> {
-    let threads = amud_par::current_threads();
-    if threads <= 1 || len < PAR_MIN_ELEMS {
+    let parts = bounded_parts(len, PAR_MIN_STREAM_ELEMS_PER_PART).min(len.max(1));
+    if parts <= 1 {
         std::iter::once(0..len).collect()
     } else {
-        amud_par::split_even(len, threads)
+        amud_par::split_even(len, parts)
     }
 }
 
@@ -154,10 +197,17 @@ impl DenseMatrix {
         &mut self.data[r * self.cols..(r + 1) * self.cols]
     }
 
-    /// `self · other` — the classic ikj loop: streams `other` row-wise so the
-    /// inner loop is a contiguous axpy. Output rows are computed in parallel
-    /// blocks; every row runs the identical scalar loop, so the product is
-    /// bit-identical at any thread count.
+    /// `self · other` — the classic ikj orientation, k-blocked by 4 so one
+    /// [`lanes::lane_axpy4`] call streams four rows of `other` into a
+    /// register-resident window of the output row. Output rows are computed
+    /// in parallel blocks.
+    ///
+    /// Bit-identical to the legacy scalar ikj loop (and therefore across
+    /// thread counts): every output element still accumulates its terms in
+    /// ascending `k` order, one fused `+= a·b` per term. Zero weights are
+    /// skipped a block at a time; adding a `±0.0` term is exact-identity
+    /// here because an accumulator that starts at `+0.0` can never become
+    /// `-0.0`, so skipping or including such terms cannot change a bit.
     ///
     /// # Panics
     /// Panics if `self.cols != other.rows`.
@@ -170,25 +220,48 @@ impl DenseMatrix {
             return out;
         }
         let parts = output_row_parts(self.rows, self.cols * other.cols);
+        let k_main = self.cols - self.cols % 4;
         amud_par::par_row_blocks_mut(&mut out.data, other.cols, &parts, |_, rows, block| {
             for (out_row, i) in block.chunks_exact_mut(other.cols).zip(rows) {
                 let a_row = self.row(i);
-                for (k, &a) in a_row.iter().enumerate() {
+                for kb in 0..k_main / 4 {
+                    let k = kb * 4;
+                    let w = [a_row[k], a_row[k + 1], a_row[k + 2], a_row[k + 3]];
+                    if w == [0.0; 4] {
+                        continue;
+                    }
+                    lanes::lane_axpy4(
+                        out_row,
+                        w,
+                        other.row(k),
+                        other.row(k + 1),
+                        other.row(k + 2),
+                        other.row(k + 3),
+                    );
+                }
+                for (k, &a) in a_row.iter().enumerate().skip(k_main) {
                     if a == 0.0 {
                         continue;
                     }
-                    let b_row = other.row(k);
-                    for (o, &b) in out_row.iter_mut().zip(b_row) {
-                        *o += a * b;
-                    }
+                    lanes::lane_axpy(out_row, a, other.row(k));
                 }
             }
         });
         out
     }
 
-    /// `self · otherᵀ` — inner loop is a dot product of two contiguous rows.
-    /// Parallel over output-row blocks, bit-identical to serial.
+    /// `self · otherᵀ` — each output element is a dot of two contiguous
+    /// rows, reduced in the canonical lane-fold order
+    /// ([`amud_par::lane_dot`]) and computed four outputs at a time by
+    /// [`lanes::lane_dot4`] so the loads of `self`'s row are shared across
+    /// four independent accumulator chains. The legacy scalar dot was a
+    /// single serial FP-add dependency chain (~4 cycles per element); the
+    /// lane fold runs eight chains wide and is the reason this kernel now
+    /// tracks `matmul`'s throughput instead of trailing it 4×.
+    ///
+    /// The reduction tree depends only on the k-extent, so the result is
+    /// bit-identical at any thread count (tail outputs — `j ≥ 4·⌊n/4⌋` —
+    /// go through `lane_dot` directly, which `lane_dot4` matches bitwise).
     pub fn matmul_transb(&self, other: &DenseMatrix) -> DenseMatrix {
         assert_eq!(self.cols, other.cols, "matmul_transb: inner dimensions differ");
         debug_assert!(
@@ -200,11 +273,23 @@ impl DenseMatrix {
             return out;
         }
         let parts = output_row_parts(self.rows, self.cols * other.rows);
+        let j_main = other.rows - other.rows % 4;
         amud_par::par_row_blocks_mut(&mut out.data, other.rows, &parts, |_, rows, block| {
             for (out_row, i) in block.chunks_exact_mut(other.rows).zip(rows) {
                 let a_row = self.row(i);
-                for (j, o) in out_row.iter_mut().enumerate() {
-                    *o = amud_par::ordered_dot(a_row, other.row(j));
+                for jb in 0..j_main / 4 {
+                    let j = jb * 4;
+                    let d = lanes::lane_dot4(
+                        a_row,
+                        other.row(j),
+                        other.row(j + 1),
+                        other.row(j + 2),
+                        other.row(j + 3),
+                    );
+                    out_row[j..j + 4].copy_from_slice(&d);
+                }
+                for (j, o) in out_row.iter_mut().enumerate().skip(j_main) {
+                    *o = amud_par::lane_dot(a_row, other.row(j));
                 }
             }
         });
@@ -258,20 +343,41 @@ impl DenseMatrix {
         out
     }
 
-    /// One k-block of the `selfᵀ · other` scatter: the legacy serial loop
-    /// restricted to `ks`, accumulating into `acc` (length `cols·other.cols`).
+    /// One k-block of the `selfᵀ · other` scatter restricted to `ks`,
+    /// accumulating into `acc` (length `cols·other.cols`).
+    ///
+    /// Like `matmul`, the loop is k-blocked by 4 over [`lanes::lane_axpy4`]
+    /// with an all-zero-weight block skip; per output element the terms
+    /// still arrive in ascending `k` order, one fused `+= a·b` each, so
+    /// this is bit-identical to the legacy serial scatter (the ±0.0-skip
+    /// argument from `matmul` applies verbatim — `acc` starts at `+0.0`).
     fn transa_block(a: &DenseMatrix, b: &DenseMatrix, ks: Range<usize>, acc: &mut [f32]) {
-        for k in ks {
+        if a.cols == 0 || b.cols == 0 {
+            return;
+        }
+        let len = ks.end - ks.start;
+        let main = len - len % 4;
+        for kb in 0..main / 4 {
+            let k = ks.start + kb * 4;
+            let (a0, a1, a2, a3) = (a.row(k), a.row(k + 1), a.row(k + 2), a.row(k + 3));
+            let (b0, b1, b2, b3) = (b.row(k), b.row(k + 1), b.row(k + 2), b.row(k + 3));
+            for (i, out_row) in acc.chunks_exact_mut(b.cols).enumerate() {
+                let w = [a0[i], a1[i], a2[i], a3[i]];
+                if w == [0.0; 4] {
+                    continue;
+                }
+                lanes::lane_axpy4(out_row, w, b0, b1, b2, b3);
+            }
+        }
+        for k in ks.start + main..ks.end {
             let a_row = a.row(k);
             let b_row = b.row(k);
-            for (i, &av) in a_row.iter().enumerate() {
+            for (i, out_row) in acc.chunks_exact_mut(b.cols).enumerate() {
+                let av = a_row[i];
                 if av == 0.0 {
                     continue;
                 }
-                let out_row = &mut acc[i * b.cols..(i + 1) * b.cols];
-                for (o, &bv) in out_row.iter_mut().zip(b_row) {
-                    *o += av * bv;
-                }
+                lanes::lane_axpy(out_row, av, b_row);
             }
         }
     }
@@ -285,7 +391,7 @@ impl DenseMatrix {
         if self.data.is_empty() {
             return out;
         }
-        let parts = output_row_parts(self.cols, self.rows);
+        let parts = stream_row_parts(self.cols, self.rows);
         amud_par::par_row_blocks_mut(&mut out.data, self.rows, &parts, |_, cols, block| {
             for r0 in (0..self.rows).step_by(TRANSPOSE_BLOCK) {
                 let r1 = (r0 + TRANSPOSE_BLOCK).min(self.rows);
@@ -342,7 +448,7 @@ impl DenseMatrix {
         if self.cols == 0 {
             return;
         }
-        let parts = output_row_parts(self.rows, self.cols);
+        let parts = stream_row_parts(self.rows, self.cols);
         let cols = self.cols;
         amud_par::par_row_blocks_mut(&mut self.data, cols, &parts, |_, rows, block| {
             for (row, r) in block.chunks_exact_mut(cols).zip(rows) {
@@ -416,7 +522,7 @@ impl DenseMatrix {
     /// Parallel over fixed row ranges; each row's scan is independent.
     pub fn argmax_rows(&self) -> Vec<usize> {
         let mut out = vec![0usize; self.rows];
-        let parts = output_row_parts(self.rows, self.cols);
+        let parts = stream_row_parts(self.rows, self.cols);
         amud_par::par_row_blocks_mut(&mut out, 1, &parts, |_, rows, chunk| {
             for (o, r) in chunk.iter_mut().zip(rows) {
                 *o = self
@@ -441,11 +547,13 @@ impl DenseMatrix {
         self.data.iter().sum()
     }
 
-    /// Row-wise L2 normalisation (zero rows stay zero).
+    /// Row-wise L2 normalisation (zero rows stay zero). The squared norm
+    /// reduces in the canonical lane-fold order — a per-row function of
+    /// the column count only, so thread-invariant like every lane fold.
     pub fn l2_normalize_rows(&self) -> DenseMatrix {
         let mut out = self.clone();
         out.par_rows_mut(|_, row| {
-            let norm = amud_par::ordered_dot(row, row).sqrt();
+            let norm = amud_par::lane_dot(row, row).sqrt();
             if norm > 1e-12 {
                 for x in row {
                     *x /= norm;

@@ -576,12 +576,7 @@ impl Tape {
                 let (x, w, idx) = (*x, *w, *idx);
                 let s = self.nodes[w].value.get(0, idx);
                 let dx = grad.scale(s);
-                let dw_entry: f32 = grad
-                    .as_slice()
-                    .iter()
-                    .zip(self.nodes[x].value.as_slice())
-                    .map(|(&g, &xv)| g * xv)
-                    .sum();
+                let dw_entry = amud_par::lane_dot(grad.as_slice(), self.nodes[x].value.as_slice());
                 let mut dw = DenseMatrix::zeros(1, self.nodes[w].value.cols());
                 dw.set(0, idx, dw_entry);
                 self.accumulate(x, dx);
@@ -672,7 +667,7 @@ impl Tape {
                 dx.par_rows_mut(|r, drow| {
                     let yr = y.row(r);
                     let gr = grad.row(r);
-                    let dot = amud_par::ordered_dot(yr, gr);
+                    let dot = amud_par::lane_dot(yr, gr);
                     for ((d, &s), &g) in drow.iter_mut().zip(yr).zip(gr) {
                         *d = s * (g - dot);
                     }
@@ -706,8 +701,7 @@ impl Tape {
                     let mut dalpha = Vec::with_capacity(cols.len());
                     let mut weighted_mean = 0.0f32;
                     for (slot, &j) in (offset..).zip(cols) {
-                        let da: f32 =
-                            g_row.iter().zip(hv.row(j as usize)).map(|(&g, &x)| g * x).sum();
+                        let da = amud_par::lane_dot(g_row, hv.row(j as usize));
                         dalpha.push(da);
                         weighted_mean += alpha[slot] * da;
                     }
@@ -715,9 +709,7 @@ impl Tape {
                         let slot = offset + idx;
                         let a = alpha[slot];
                         // dh[j] += α_ij · G[i]
-                        for (o, &g) in dh.row_mut(j as usize).iter_mut().zip(g_row) {
-                            *o += a * g;
-                        }
+                        amud_par::lanes::lane_axpy(dh.row_mut(j as usize), a, g_row);
                         let de = a * (dalpha[idx] - weighted_mean);
                         let dpre = if pre_activation[slot] > 0.0 { de } else { slope * de };
                         ds.set(i, 0, ds.get(i, 0) + dpre);

@@ -195,12 +195,15 @@ fn transa_multi_block_regime_is_thread_invariant() {
 }
 
 /// Shapes big enough to clear every serial-fallback threshold, so the
-/// parallel path (not the inline fallback) is what's being compared.
+/// parallel path (not the inline fallback) is what's being compared. The
+/// streaming helpers (map, per-row softmax/normalise) now carry a much
+/// higher per-part floor (2^18 elements) than the matmul family, so their
+/// shapes here are correspondingly larger.
 #[test]
 fn above_threshold_shapes_are_thread_invariant() {
     let a = seeded(160, 128, 99);
     let b = seeded(128, 96, 100);
-    let big = seeded(128, 96, 101);
+    let big = seeded(768, 700, 101); // 537k elems ≥ 2 streaming parts
     for &t in &THREAD_COUNTS[1..] {
         let serial = amud_par::with_threads(1, || a.matmul(&b));
         let parallel = amud_par::with_threads(t, || a.matmul(&b));
@@ -208,5 +211,116 @@ fn above_threshold_shapes_are_thread_invariant() {
         let serial = amud_par::with_threads(1, || big.map(|v| v.exp().min(10.0)));
         let parallel = amud_par::with_threads(t, || big.map(|v| v.exp().min(10.0)));
         assert_eq!(bits(&serial), bits(&parallel), "map diverged at {t} threads");
+        let serial = amud_par::with_threads(1, || big.l2_normalize_rows());
+        let parallel = amud_par::with_threads(t, || big.l2_normalize_rows());
+        assert_eq!(bits(&serial), bits(&parallel), "l2_normalize_rows diverged at {t} threads");
+    }
+}
+
+/// Lane-tail coverage: k-extents ≡ 1 and 7 (mod LANE_WIDTH) force every
+/// microkernel through its scalar-tail path (and, at k < 4, through the
+/// j/k-block tails too). Each shape is checked for thread invariance AND
+/// pinned to the canonical order: `matmul`/`matmul_transa` must match the
+/// legacy ascending-k scalar loop bitwise (the lane blocking is
+/// order-preserving by construction), and every `matmul_transb` output
+/// element must equal `amud_par::lane_dot` of its two rows bitwise
+/// (whether it was produced by the 4-wide block or the tail).
+#[test]
+fn lane_tail_shapes_match_the_canonical_order() {
+    for k in [1usize, 2, 3, 5, 7, 8, 9, 15, 17, 23, 25, 63, 65, 71] {
+        let m = 13;
+        let n = 11;
+        let a = seeded(m, k, 1000 + k as u64);
+        let b = seeded(k, n, 2000 + k as u64);
+        let bt = seeded(n, k, 3000 + k as u64);
+
+        // matmul: bitwise == legacy ikj scalar loop (ascending k, zero-skip).
+        let got = a.matmul(&b);
+        let mut want = DenseMatrix::zeros(m, n);
+        for i in 0..m {
+            for (kk, &av) in a.row(i).iter().enumerate() {
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let w = want.get(i, j) + av * b.get(kk, j);
+                    want.set(i, j, w);
+                }
+            }
+        }
+        assert_eq!(bits(&got), bits(&want), "matmul k={k} diverged from the scalar reference");
+
+        // matmul_transb: bitwise == lane_dot per element.
+        let got = a.matmul_transb(&bt);
+        for i in 0..m {
+            for j in 0..n {
+                assert_eq!(
+                    got.get(i, j).to_bits(),
+                    amud_par::lane_dot(a.row(i), bt.row(j)).to_bits(),
+                    "transb k={k} ({i},{j}) diverged from lane_dot"
+                );
+            }
+        }
+
+        // matmul_transa (single-block regime): bitwise == legacy scalar
+        // scatter in ascending k.
+        let a2 = seeded(k, m, 4000 + k as u64);
+        let b2 = seeded(k, n, 5000 + k as u64);
+        let got = a2.matmul_transa(&b2);
+        let mut want = DenseMatrix::zeros(m, n);
+        for kk in 0..k {
+            for i in 0..m {
+                let av = a2.get(kk, i);
+                if av == 0.0 {
+                    continue;
+                }
+                for j in 0..n {
+                    let w = want.get(i, j) + av * b2.get(kk, j);
+                    want.set(i, j, w);
+                }
+            }
+        }
+        assert_eq!(bits(&got), bits(&want), "transa k={k} diverged from the scalar reference");
+
+        // And all of the above are thread-invariant at the tail shapes.
+        for &t in &THREAD_COUNTS[1..] {
+            let s = amud_par::with_threads(1, || a.matmul_transb(&bt));
+            let p = amud_par::with_threads(t, || a.matmul_transb(&bt));
+            assert_eq!(bits(&s), bits(&p), "transb k={k} diverged at {t} threads");
+        }
+    }
+}
+
+/// The satellite regression shape: a 1200×128 row softmax must stay on
+/// the serial path (sub-threshold) yet remain bit-identical at any budget,
+/// and an above-threshold softmax must fan out and still match serial.
+#[test]
+fn row_softmax_granularity_is_thread_invariant() {
+    for (rows, cols) in [(1200usize, 128usize), (2200, 256)] {
+        let m = seeded(rows, cols, 7000 + rows as u64);
+        let softmax = |x: &DenseMatrix| {
+            let mut out = x.clone();
+            out.par_rows_mut(|_, row| {
+                let max = row.iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+                let mut sum = 0.0f32;
+                for v in row.iter_mut() {
+                    *v = (*v - max).exp();
+                    sum += *v;
+                }
+                for v in row.iter_mut() {
+                    *v /= sum;
+                }
+            });
+            out
+        };
+        let baseline = amud_par::with_threads(1, || softmax(&m));
+        for &t in &THREAD_COUNTS[1..] {
+            let got = amud_par::with_threads(t, || softmax(&m));
+            assert_eq!(
+                bits(&baseline),
+                bits(&got),
+                "row softmax {rows}x{cols} diverged at {t} threads"
+            );
+        }
     }
 }

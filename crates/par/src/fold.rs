@@ -3,12 +3,27 @@
 //!
 //! f32 addition is not associative, so the bit-identity contract (lib.rs,
 //! property 3) requires every reduction to run in one fixed order. These
-//! helpers are that order, written down once: a plain ascending-index
-//! scalar loop, exactly the sequence `iter().sum()` / a serial `acc +=`
-//! loop would produce. Kernels outside this crate must reduce through
-//! these (the `float-determinism` pass in `amud-lint` enforces it), so a
-//! refactor cannot silently introduce a reassociated — and therefore
+//! helpers are that order, written down once. Two families exist:
+//!
+//! * [`lane_sum`] / [`lane_dot`] — the **canonical** lane-folded order used
+//!   by every kernel in the workspace: `LANE_WIDTH` interleaved partial
+//!   accumulators over the lane-aligned prefix, collapsed by the fixed
+//!   [`crate::lanes::fold_lanes`] tree, then an ascending scalar tail. The
+//!   order is a pure function of the operand length — never of the thread
+//!   count or partition — so serial fallback and every parallel block
+//!   reduce identically, and the autovectorizer can lift the lane loop to
+//!   SIMD without changing a bit.
+//! * [`ordered_sum`] / [`ordered_dot`] — the legacy plain ascending scalar
+//!   order, kept as the reference the lane variants are tested against
+//!   (and the exact `iter().sum()` sequence, for pinning host folds).
+//!
+//! Kernels outside this crate must reduce through these (the
+//! `float-determinism` pass in `amud-lint` enforces it, and additionally
+//! flags hand-rolled `[f32; N]` lane accumulators outside `crates/par`),
+//! so a refactor cannot silently introduce a reassociated — and therefore
 //! thread-count-dependent — accumulation.
+
+use crate::lanes::{fold_lanes, LANE_WIDTH};
 
 /// Sum of a slice in ascending index order.
 ///
@@ -34,6 +49,50 @@ pub fn ordered_dot(a: &[f32], b: &[f32]) -> f32 {
         acc += a[i] * b[i];
     }
     acc
+}
+
+/// Sum of a slice in the canonical lane-folded order.
+///
+/// The lane-aligned prefix feeds `LANE_WIDTH` interleaved accumulators
+/// (`acc[i % LANE_WIDTH] += x[i]`), collapsed by the fixed
+/// [`fold_lanes`] tree; the tail is added scalar, in ascending order.
+/// The reduction shape depends only on `xs.len()`. For `xs.len() <
+/// LANE_WIDTH` this is bit-identical to [`ordered_sum`].
+pub fn lane_sum(xs: &[f32]) -> f32 {
+    let mut acc = [0.0f32; LANE_WIDTH];
+    let mut chunks = xs.chunks_exact(LANE_WIDTH);
+    for c in chunks.by_ref() {
+        for l in 0..LANE_WIDTH {
+            acc[l] += c[l];
+        }
+    }
+    let mut s = fold_lanes(acc);
+    for &x in chunks.remainder() {
+        s += x;
+    }
+    s
+}
+
+/// Dot product of two slices in the canonical lane-folded order.
+///
+/// Same schedule as [`lane_sum`] with `a[i] * b[i]` terms; the common
+/// prefix of the two slices is reduced (zip semantics, like
+/// [`ordered_dot`]). For lengths below `LANE_WIDTH` this is bit-identical
+/// to [`ordered_dot`].
+pub fn lane_dot(a: &[f32], b: &[f32]) -> f32 {
+    let n = a.len().min(b.len());
+    let main = n - n % LANE_WIDTH;
+    let mut acc = [0.0f32; LANE_WIDTH];
+    for (ca, cb) in a[..main].chunks_exact(LANE_WIDTH).zip(b[..main].chunks_exact(LANE_WIDTH)) {
+        for l in 0..LANE_WIDTH {
+            acc[l] += ca[l] * cb[l];
+        }
+    }
+    let mut s = fold_lanes(acc);
+    for (&x, &y) in a[main..n].iter().zip(&b[main..n]) {
+        s += x * y;
+    }
+    s
 }
 
 #[cfg(test)]
@@ -64,5 +123,53 @@ mod tests {
     fn unequal_lengths_use_the_shorter() {
         assert_eq!(ordered_dot(&[1.0, 2.0, 3.0], &[2.0]), 2.0);
         assert_eq!(ordered_sum(&[]), 0.0);
+        assert_eq!(lane_dot(&[1.0, 2.0, 3.0], &[2.0]), 2.0);
+        assert_eq!(lane_sum(&[]), 0.0);
+    }
+
+    /// Hand-evaluated reference of the canonical lane-fold schedule: lane
+    /// accumulators over the aligned prefix, [`fold_lanes`] tree, ascending
+    /// scalar tail. This is the order every workspace kernel reduces in.
+    fn lane_reference(terms: &[f32]) -> f32 {
+        let mut acc = [0.0f32; LANE_WIDTH];
+        for (i, &t) in terms.iter().take(terms.len() - terms.len() % LANE_WIDTH).enumerate() {
+            acc[i % LANE_WIDTH] += t;
+        }
+        let mut s = fold_lanes(acc);
+        for &t in &terms[terms.len() - terms.len() % LANE_WIDTH..] {
+            s += t;
+        }
+        s
+    }
+
+    #[test]
+    fn lane_sum_order_is_pinned_including_tails() {
+        // Lengths ≡ 0, 1, and 7 (mod LANE_WIDTH) — the tail shapes the
+        // equivalence proptests exercise at the matrix level.
+        for n in [0, 1, 7, 8, 9, 15, 16, 17, 64, 71, 1000, 1001, 1007] {
+            let xs: Vec<f32> =
+                (0..n).map(|i| ((i * 2654435761u64 as usize) as f32).sin() * 1e3).collect();
+            assert_eq!(lane_sum(&xs).to_bits(), lane_reference(&xs).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lane_dot_order_is_pinned_including_tails() {
+        for n in [0, 1, 7, 8, 9, 33, 777, 783] {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.37).cos()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 1.91).sin()).collect();
+            let terms: Vec<f32> = a.iter().zip(&b).map(|(&x, &y)| x * y).collect();
+            assert_eq!(lane_dot(&a, &b).to_bits(), lane_reference(&terms).to_bits(), "n={n}");
+        }
+    }
+
+    #[test]
+    fn lane_variants_degenerate_to_ordered_below_one_lane() {
+        for n in 0..LANE_WIDTH {
+            let a: Vec<f32> = (0..n).map(|i| (i as f32 * 0.7).tan()).collect();
+            let b: Vec<f32> = (0..n).map(|i| (i as f32 * 1.3).cos()).collect();
+            assert_eq!(lane_sum(&a).to_bits(), ordered_sum(&a).to_bits(), "n={n}");
+            assert_eq!(lane_dot(&a, &b).to_bits(), ordered_dot(&a, &b).to_bits(), "n={n}");
+        }
     }
 }

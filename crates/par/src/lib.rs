@@ -53,6 +53,7 @@
 
 mod chunks;
 mod fold;
+pub mod lanes;
 mod partition;
 mod pool;
 #[cfg(feature = "san")]
@@ -60,7 +61,7 @@ pub mod san;
 mod service;
 
 pub use chunks::{par_chunks_mut, par_row_blocks_mut};
-pub use fold::{ordered_dot, ordered_sum};
+pub use fold::{lane_dot, lane_sum, ordered_dot, ordered_sum};
 pub use partition::{split_by_weight, split_even};
 pub use pool::{pool, run, ThreadPool};
 pub use service::{spawn_service, ServiceHandle};
