@@ -87,6 +87,9 @@ AMUD_CACHE=off cargo test -q -p amud-core --test precompute_equivalence
 # Serving smoke: spawn a real `amud serve` subprocess and drive it through
 # normal requests, a past-deadline request, and a corrupt-then-valid hot
 # swap, asserting every stats counter moved (tests/serve_e2e.rs::ci_smoke).
+# The `ci_smoke` filter also matches ci_smoke_quantized_snapshot_serves,
+# which serves an int8/f16 artifact and pins wire replies to the
+# in-process engine on the same bytes.
 echo "==> serve smoke (cargo test --test serve_e2e ci_smoke)"
 cargo test -q --release --test serve_e2e -- ci_smoke
 
@@ -107,5 +110,12 @@ cargo run --release -q -p amud-bench --bin bench-kernels -- --smoke --out /tmp/B
 # tables and the warm pass must clear the 5x spmm-reduction gate.
 echo "==> bench-precompute --smoke"
 cargo run --release -q -p amud-bench --bin bench-precompute -- --smoke --out /tmp/BENCH_precompute_smoke.json
+
+# Quantization smoke run: fused dequant kernels must match decode-then-
+# compute bitwise, f16/int8 artifacts must clear the 1.7x/3.0x byte-
+# reduction gates on disk AND resident, engine logits must be identical
+# across thread budgets, and the registry accuracy drop stays <= 0.5 pt.
+echo "==> bench-quant --smoke"
+cargo run --release -q -p amud-bench --bin bench-quant -- --smoke --out /tmp/BENCH_quant_smoke.json
 
 echo "ci: all green"

@@ -255,6 +255,21 @@ fn main() {
             bit_identical: ok,
         });
 
+        // Pack once outside the timer: the pack is built per weight
+        // matrix and amortized across every inference call against it.
+        let packed = bt.pack_transb();
+        let (s, p, ok) =
+            run_pair(reps, par_budget, || a.matmul_transb_packed(&packed).as_slice().to_vec());
+        results.push(KernelResult {
+            kernel: "matmul_transb_packed",
+            shape: shape.clone(),
+            serial_ms: s,
+            parallel_ms: p,
+            flops: gemm_flops,
+            bytes: gemm_bytes,
+            bit_identical: ok,
+        });
+
         let (s, p, ok) = run_pair(reps, par_budget, || a.matmul_transa(&g).as_slice().to_vec());
         results.push(KernelResult {
             kernel: "matmul_transa",

@@ -1,0 +1,454 @@
+//! `bench-quant` — quantized artifacts and the fused-dequant hot path.
+//!
+//! The inference path is bandwidth-bound: a row-gather engine streams
+//! propagated feature tensors whose size, not flop count, sets the
+//! latency floor. This harness measures what quantization buys and
+//! proves it changes nothing it must not:
+//!
+//! 1. **fused kernels** — `matmul_deq` over f16/int8 weights vs the
+//!    decode-then-`matmul` reference, timed at dataset-scale shapes and
+//!    compared bitwise (the fused path must be exact, not just close);
+//! 2. **artifact bytes** — disk bytes ([`write_snapshot`]'s return) and
+//!    resident bytes (`QuantizedExport::n_bytes`) per precision, gated at
+//!    ≥ 1.7× (f16) and ≥ 3.0× (int8) reduction vs f32;
+//! 3. **per-query latency** — engine `logits` on a serving-sized batch,
+//!    per precision;
+//! 4. **thread determinism** — quantized-engine logits must be
+//!    bit-identical across `AMUD_THREADS` ∈ {1, 2, 3, 8};
+//! 5. **accuracy sweep** — train ADPA on tiny registry replicas, serve
+//!    the same model at f32/f16/int8, and gate the mean test-accuracy
+//!    drop at ≤ 0.5 points per quantized precision.
+//!
+//! Results go to `BENCH_quant.json`. Exit code 1 if any gate fails.
+//!
+//! ```text
+//! cargo run --release -p amud-bench --bin bench-quant             # full shapes
+//! cargo run --release -p amud-bench --bin bench-quant -- --smoke  # CI-sized
+//! cargo run --release -p amud-bench --bin bench-quant -- --out q.json
+//! cargo run --release -p amud-bench --bin bench-quant -- --smoke --check BENCH_quant.json
+//! ```
+//!
+//! `--check <baseline.json>` mirrors `bench-kernels`: any kernel/shape
+//! row present in both runs may regress `serial_ms` by at most 10% plus
+//! a 0.25 ms noise floor; rows absent from the baseline are skipped, and
+//! an unreadable or row-free baseline is exit 2.
+
+use amud_core::paradigm;
+use amud_core::{Adpa, AdpaConfig};
+use amud_datasets::registry::all_specs;
+use amud_datasets::{replica, ReplicaScale};
+use amud_nn::DenseMatrix;
+use amud_quant::{matmul_deq, Precision, QMatrix, QuantSpec};
+use amud_serve::{write_snapshot, Engine, Snapshot};
+use amud_train::{accuracy, train, GraphData, TrainConfig};
+use rand::rngs::StdRng;
+use rand::{Rng, SeedableRng};
+use std::time::Instant;
+
+struct KernelRow {
+    kernel: &'static str,
+    shape: String,
+    serial_ms: f64,
+    /// Bytes actually streamed per call (A + stored B + output).
+    bytes: f64,
+    bit_identical: bool,
+}
+
+impl KernelRow {
+    fn gbs(&self) -> f64 {
+        self.bytes / (self.serial_ms * 1e-3) / 1e9
+    }
+}
+
+struct ArtifactRow {
+    precision: &'static str,
+    disk_bytes: usize,
+    resident_bytes: usize,
+    query_us: f64,
+}
+
+struct AccuracyRow {
+    dataset: String,
+    f32_acc: f64,
+    f16_acc: f64,
+    i8_acc: f64,
+}
+
+fn fail(msg: &str) -> ! {
+    eprintln!("error: {msg}");
+    std::process::exit(1)
+}
+
+/// Minimum wall-clock over `reps` runs (least-perturbed observation).
+fn time_min<R>(reps: usize, mut f: impl FnMut() -> R) -> (f64, R) {
+    // TAINT-PURE(best): the minimum wall-clock is reported alongside the
+    // closure's result; it is never fed back into a computed value.
+    let mut best = f64::INFINITY;
+    let mut out = f();
+    for _ in 0..reps {
+        let t = Instant::now();
+        out = f();
+        best = best.min(t.elapsed().as_secs_f64() * 1e3);
+    }
+    (best, out)
+}
+
+fn bits_equal(a: &[f32], b: &[f32]) -> bool {
+    a.len() == b.len() && a.iter().zip(b).all(|(x, y)| x.to_bits() == y.to_bits())
+}
+
+fn seeded(rows: usize, cols: usize, seed: u64) -> DenseMatrix {
+    let mut rng = StdRng::seed_from_u64(seed);
+    DenseMatrix::from_fn(rows, cols, |_, _| rng.gen_range(-1.0f32..1.0))
+}
+
+/// Extracts the string value of `"key": "…"` from a single JSON-line `row`.
+fn json_str_field<'a>(row: &'a str, key: &str) -> Option<&'a str> {
+    let tag = format!("\"{key}\": \"");
+    let start = row.find(&tag)? + tag.len();
+    let end = row[start..].find('"')?;
+    Some(&row[start..start + end])
+}
+
+/// Extracts the numeric value of `"key": <num>` from a single JSON-line `row`.
+fn json_num_field(row: &str, key: &str) -> Option<f64> {
+    let tag = format!("\"{key}\": ");
+    let start = row.find(&tag)? + tag.len();
+    let num: String = row[start..]
+        .chars()
+        .take_while(|c| c.is_ascii_digit() || *c == '.' || *c == '-' || *c == 'e')
+        .collect();
+    num.parse().ok()
+}
+
+fn parse_baseline(text: &str) -> Vec<((String, String), f64)> {
+    text.lines()
+        .filter_map(|row| {
+            let kernel = json_str_field(row, "kernel")?;
+            let shape = json_str_field(row, "shape")?;
+            let serial = json_num_field(row, "serial_ms")?;
+            Some(((kernel.to_string(), shape.to_string()), serial))
+        })
+        .collect()
+}
+
+fn data_for(name: &str, seed: u64) -> GraphData {
+    let d = replica(name, ReplicaScale::tiny(), seed);
+    match GraphData::new(
+        &d.graph,
+        d.features.clone(),
+        d.split.train.clone(),
+        d.split.val.clone(),
+        d.split.test.clone(),
+    ) {
+        Ok(g) => g,
+        Err(e) => fail(&format!("replica {name}: {e}")),
+    }
+}
+
+/// Test accuracy of an engine over its full node set.
+fn engine_accuracy(engine: &Engine, data: &GraphData) -> f64 {
+    let all: Vec<usize> = (0..engine.n_nodes()).collect();
+    let logits = engine.logits(&all).unwrap_or_else(|e| fail(&e.to_string()));
+    accuracy(&logits, &data.labels, &data.test)
+}
+
+fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let smoke = args.iter().any(|a| a == "--smoke");
+    let out_path = args
+        .iter()
+        .position(|a| a == "--out")
+        .and_then(|i| args.get(i + 1).cloned())
+        .unwrap_or_else(|| "BENCH_quant.json".to_string());
+    let check_path = args.iter().position(|a| a == "--check").map(|i| match args.get(i + 1) {
+        Some(p) => p.clone(),
+        None => {
+            eprintln!("error: --check requires a baseline path");
+            std::process::exit(2);
+        }
+    });
+
+    let par_budget = amud_par::max_threads();
+    let host_threads = std::thread::available_parallelism().map(|n| n.get()).unwrap_or(1);
+    let reps = 5;
+    println!(
+        "bench-quant: host_threads={host_threads} amud_threads={par_budget} reps={reps}{}",
+        if smoke { " (smoke)" } else { "" }
+    );
+
+    // -- Phase 1: fused-dequant GEMM vs decode-then-matmul, bitwise.
+    let dense_shapes: &[(usize, usize, usize)] = if smoke {
+        &[(256, 64, 32), (1200, 128, 64)]
+    } else {
+        &[(256, 64, 32), (1200, 128, 64), (4096, 256, 128)]
+    };
+    let mut kernels: Vec<KernelRow> = Vec::new();
+    for &(n, f, h) in dense_shapes {
+        let a = seeded(n, f, 1);
+        let b = seeded(f, h, 2);
+        let shape = format!("{n}x{f}x{h}");
+        let out_bytes = (4 * n * h) as f64;
+        let a_bytes = (4 * n * f) as f64;
+
+        let (ms, _) = time_min(reps, || a.matmul(&b).as_slice().to_vec());
+        kernels.push(KernelRow {
+            kernel: "matmul_f32",
+            shape: shape.clone(),
+            serial_ms: ms,
+            bytes: a_bytes + (4 * f * h) as f64 + out_bytes,
+            bit_identical: true,
+        });
+
+        for (name, precision) in
+            [("matmul_deq_f16", Precision::F16), ("matmul_deq_i8", Precision::I8)]
+        {
+            let q = QMatrix::quantize(&b, precision);
+            let (ms, fused) = time_min(reps, || matmul_deq(&a, &q).as_slice().to_vec());
+            // The exactness contract: fused == decode-then-matmul, bit
+            // for bit. (It differs from f32 matmul by the quantization
+            // rounding itself, which is the accuracy sweep's concern.)
+            let decoded = a.matmul(&q.dequantize());
+            kernels.push(KernelRow {
+                kernel: name,
+                shape: shape.clone(),
+                serial_ms: ms,
+                bytes: a_bytes + q.n_bytes() as f64 + out_bytes,
+                bit_identical: bits_equal(&fused, decoded.as_slice()),
+            });
+        }
+    }
+    println!("{:<16} {:<16} {:>10} {:>8}  bits", "kernel", "shape", "serial", "GB/s");
+    for r in &kernels {
+        println!(
+            "{:<16} {:<16} {:>8.3}ms {:>8.2}  {}",
+            r.kernel,
+            r.shape,
+            r.serial_ms,
+            r.gbs(),
+            if r.bit_identical { "identical" } else { "DIVERGED" }
+        );
+    }
+    if kernels.iter().any(|r| !r.bit_identical) {
+        fail("a fused dequant kernel diverged from its decode-then-compute reference");
+    }
+
+    // -- Phase 2+3: artifact bytes on disk and resident, per-query latency.
+    let (n_nodes, n_feat) = if smoke { (300, 16) } else { (4096, 64) };
+    let base = amud_serve::synthetic_snapshot(1, n_nodes, n_feat, 3, 2, 32, 0);
+    let batch: Vec<usize> = (0..8).map(|i| (i * 37) % n_nodes).collect();
+    let snap_path =
+        std::env::temp_dir().join(format!("amud-bench-quant-{}.snap", std::process::id()));
+    let mut artifacts: Vec<ArtifactRow> = Vec::new();
+    let mut engines: Vec<(Precision, Engine)> = Vec::new();
+    for precision in [Precision::F32, Precision::F16, Precision::I8] {
+        let snap = base.requantized(QuantSpec::uniform(precision));
+        let disk_bytes = write_snapshot(&snap_path, &snap).unwrap_or_else(|e| fail(&e.to_string()));
+        let resident_bytes = snap.export.n_bytes();
+        let engine = Engine::new(snap).unwrap_or_else(|e| fail(&e.to_string()));
+        let (ms, _) =
+            time_min(reps * 4, || engine.logits(&batch).unwrap_or_else(|e| fail(&e.to_string())));
+        artifacts.push(ArtifactRow {
+            precision: precision.name(),
+            disk_bytes,
+            resident_bytes,
+            query_us: ms * 1e3,
+        });
+        engines.push((precision, engine));
+    }
+    std::fs::remove_file(&snap_path).ok();
+    let f32_row = &artifacts[0];
+    println!(
+        "{:<10} {:>12} {:>14} {:>10} {:>10}",
+        "precision", "disk", "resident", "disk_x", "query"
+    );
+    for r in &artifacts {
+        println!(
+            "{:<10} {:>11}B {:>13}B {:>9.2}x {:>8.1}us",
+            r.precision,
+            r.disk_bytes,
+            r.resident_bytes,
+            f32_row.disk_bytes as f64 / r.disk_bytes as f64,
+            r.query_us
+        );
+    }
+    for (row, min_ratio) in [(&artifacts[1], 1.7), (&artifacts[2], 3.0)] {
+        for (kind, f32_b, b) in [
+            ("disk", f32_row.disk_bytes, row.disk_bytes),
+            ("resident", f32_row.resident_bytes, row.resident_bytes),
+        ] {
+            let ratio = f32_b as f64 / b as f64;
+            if ratio < min_ratio {
+                fail(&format!(
+                    "{} {kind} reduction {ratio:.2}x is below the {min_ratio}x gate",
+                    row.precision
+                ));
+            }
+        }
+    }
+
+    // -- Phase 4: quantized logits must not depend on the thread budget.
+    for (precision, engine) in &engines {
+        let reference = amud_par::with_threads(1, || {
+            engine.logits(&batch).unwrap_or_else(|e| fail(&e.to_string()))
+        });
+        for budget in [2usize, 3, 8] {
+            let got = amud_par::with_threads(budget, || {
+                engine.logits(&batch).unwrap_or_else(|e| fail(&e.to_string()))
+            });
+            if !bits_equal(got.as_slice(), reference.as_slice()) {
+                fail(&format!(
+                    "{} engine logits diverged at AMUD_THREADS={budget}",
+                    precision.name()
+                ));
+            }
+        }
+    }
+    println!("determinism: logits bit-identical across thread budgets 1/2/3/8");
+
+    // -- Phase 5: registry sweep — quantization may cost ≤ 0.5pt mean acc.
+    let sweep: Vec<String> = {
+        let names: Vec<String> = all_specs().iter().map(|s| s.name.to_string()).collect();
+        let take = if smoke { 1 } else { 3.min(names.len()) };
+        names.into_iter().take(take).collect()
+    };
+    let epochs = if smoke { 30 } else { 60 };
+    let cfg = TrainConfig { epochs, patience: 20, ..TrainConfig::default() };
+    let mut rows: Vec<AccuracyRow> = Vec::new();
+    for name in &sweep {
+        let data = data_for(name, 0);
+        let (prepared, _, _) = paradigm::prepare_topology(&data);
+        let mut model =
+            Adpa::new(&prepared, AdpaConfig::default(), 0).unwrap_or_else(|e| fail(&e.to_string()));
+        train(&mut model, &prepared, cfg, 0).unwrap_or_else(|e| fail(&e.to_string()));
+        let snap = Snapshot::from_export(1, model.export());
+        let acc_at = |spec: QuantSpec| {
+            let engine =
+                Engine::new(snap.requantized(spec)).unwrap_or_else(|e| fail(&e.to_string()));
+            engine_accuracy(&engine, &prepared)
+        };
+        let row = AccuracyRow {
+            dataset: name.to_string(),
+            f32_acc: acc_at(QuantSpec::F32),
+            f16_acc: acc_at(QuantSpec::uniform(Precision::F16)),
+            i8_acc: acc_at(QuantSpec::uniform(Precision::I8)),
+        };
+        println!(
+            "accuracy: {:<18} f32 {:.3}  f16 {:.3}  int8 {:.3}",
+            row.dataset, row.f32_acc, row.f16_acc, row.i8_acc
+        );
+        rows.push(row);
+    }
+    let mean =
+        |f: &dyn Fn(&AccuracyRow) -> f64| rows.iter().map(f).sum::<f64>() / rows.len() as f64;
+    let drop_f16 = mean(&|r: &AccuracyRow| r.f32_acc - r.f16_acc);
+    let drop_i8 = mean(&|r: &AccuracyRow| r.f32_acc - r.i8_acc);
+    println!(
+        "accuracy: mean drop vs f32 — f16 {:.2}pt, int8 {:.2}pt (gate ≤ 0.50pt)",
+        drop_f16 * 100.0,
+        drop_i8 * 100.0
+    );
+    for (name, drop) in [("f16", drop_f16), ("int8", drop_i8)] {
+        if drop > 0.005 {
+            fail(&format!(
+                "{name} mean accuracy drop {:.2}pt exceeds the 0.5pt gate",
+                drop * 100.0
+            ));
+        }
+    }
+
+    // Machine-readable JSON (hand-rendered: std-only workspace).
+    let mut json = String::from("{\n");
+    json.push_str(&format!("  \"host_threads\": {host_threads},\n"));
+    json.push_str(&format!("  \"amud_threads\": {par_budget},\n"));
+    json.push_str(&format!("  \"reps\": {reps},\n"));
+    json.push_str(&format!("  \"smoke\": {smoke},\n"));
+    json.push_str("  \"kernels\": [\n");
+    for (i, r) in kernels.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"kernel\": \"{}\", \"shape\": \"{}\", \"serial_ms\": {:.4}, \"gbs\": {:.4}, \"bit_identical\": {}}}{}\n",
+            r.kernel,
+            r.shape,
+            r.serial_ms,
+            r.gbs(),
+            r.bit_identical,
+            if i + 1 < kernels.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"artifacts\": [\n");
+    for (i, r) in artifacts.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"precision\": \"{}\", \"disk_bytes\": {}, \"resident_bytes\": {}, \"disk_ratio\": {:.4}, \"resident_ratio\": {:.4}, \"query_us\": {:.2}}}{}\n",
+            r.precision,
+            r.disk_bytes,
+            r.resident_bytes,
+            f32_row.disk_bytes as f64 / r.disk_bytes as f64,
+            f32_row.resident_bytes as f64 / r.resident_bytes as f64,
+            r.query_us,
+            if i + 1 < artifacts.len() { "," } else { "" }
+        ));
+    }
+    json.push_str("  ],\n  \"accuracy\": [\n");
+    for (i, r) in rows.iter().enumerate() {
+        json.push_str(&format!(
+            "    {{\"dataset\": \"{}\", \"f32_acc\": {:.4}, \"f16_acc\": {:.4}, \"i8_acc\": {:.4}}}{}\n",
+            r.dataset,
+            r.f32_acc,
+            r.f16_acc,
+            r.i8_acc,
+            if i + 1 < rows.len() { "," } else { "" }
+        ));
+    }
+    json.push_str(&format!(
+        "  ],\n  \"mean_drop_f16_pt\": {:.4},\n  \"mean_drop_i8_pt\": {:.4},\n  \"thread_deterministic\": true\n}}\n",
+        drop_f16 * 100.0,
+        drop_i8 * 100.0
+    ));
+    if let Err(e) = std::fs::write(&out_path, json) {
+        fail(&format!("cannot write {out_path}: {e}"));
+    }
+    println!("wrote {out_path}");
+
+    if let Some(path) = check_path {
+        let text = match std::fs::read_to_string(&path) {
+            Ok(t) => t,
+            Err(e) => {
+                eprintln!("error: cannot read baseline {path}: {e}");
+                std::process::exit(2);
+            }
+        };
+        let baseline = parse_baseline(&text);
+        if baseline.is_empty() {
+            eprintln!("error: baseline {path} has no parseable result rows");
+            std::process::exit(2);
+        }
+        let mut checked = 0usize;
+        let mut regressed = 0usize;
+        for r in &kernels {
+            let Some((_, base_ms)) =
+                baseline.iter().find(|((k, s), _)| *k == r.kernel && *s == r.shape)
+            else {
+                continue; // smoke-only shape, or a kernel the baseline predates
+            };
+            checked += 1;
+            // 10% relative budget plus a 0.25 ms absolute floor, matching
+            // bench-kernels' regression policy.
+            let limit = base_ms * 1.10 + 0.25;
+            if r.serial_ms > limit {
+                regressed += 1;
+                eprintln!(
+                    "regression: {} {} serial {:.3}ms exceeds {:.3}ms (baseline {:.3}ms +10% +0.25ms)",
+                    r.kernel, r.shape, r.serial_ms, limit, base_ms
+                );
+            }
+        }
+        println!("check vs {path}: {checked} kernel/shape pair(s) compared, {regressed} regressed");
+        if regressed > 0 {
+            std::process::exit(1);
+        }
+        if checked == 0 {
+            eprintln!("error: no kernel/shape pair overlapped the baseline — nothing was gated");
+            std::process::exit(2);
+        }
+    }
+}

@@ -132,12 +132,17 @@ fn main() {
     let snap_path: PathBuf =
         std::env::temp_dir().join(format!("amud-bench-serve-{}.snap", std::process::id()));
     let snapshot = synthetic_snapshot(1, n_nodes, 16, 3, 2, 32, 0);
+    let snapshot_bytes;
     let snapshot_v2 = {
         // Pre-encode the hot-swap candidate so the mid-run swap is one
         // atomic write.
-        write_snapshot(&snap_path, &snapshot).unwrap_or_else(|e| fail(&e.to_string()));
+        snapshot_bytes =
+            write_snapshot(&snap_path, &snapshot).unwrap_or_else(|e| fail(&e.to_string()));
         synthetic_snapshot(2, n_nodes, 16, 3, 2, 32, 0)
     };
+    // What a single-node row-gather walks: one row of each feature
+    // tensor. Denominator is nodes, numerator the resident feature bytes.
+    let bytes_per_query = snapshot.export.feature_bytes() / n_nodes;
 
     let cfg = ServerConfig {
         snapshot_path: snap_path.clone(),
@@ -260,6 +265,7 @@ fn main() {
         "counters: served={} shed={} timeouts={} degraded={} swaps={}",
         stats.served, stats.shed, stats.timeouts, stats.degraded, stats.swaps
     );
+    println!("artifact: snapshot_bytes={snapshot_bytes} bytes_per_query={bytes_per_query}");
 
     // Machine-readable JSON (hand-rendered: std-only workspace).
     let json = format!(
@@ -267,6 +273,7 @@ fn main() {
          \"zipf_s\": 1.0,\n  \"steady_wall_s\": {steady_wall:.3},\n  \"qps\": {qps:.1},\n  \
          \"p50_us\": {p50_us},\n  \"p99_us\": {p99_us},\n  \"burst_clients\": {burst},\n  \
          \"burst_served\": {burst_ok},\n  \"burst_shed\": {burst_shed},\n  \
+         \"snapshot_bytes\": {snapshot_bytes},\n  \"bytes_per_query\": {bytes_per_query},\n  \
          \"served\": {},\n  \"shed\": {},\n  \"timeouts\": {},\n  \"degraded\": {},\n  \
          \"swaps\": {}\n}}\n",
         stats.served, stats.shed, stats.timeouts, stats.degraded, stats.swaps

@@ -13,6 +13,7 @@
 use crate::adpa::{Adpa, DpAttention};
 use crate::propagation::PropagatedFeatures;
 use amud_nn::{DenseMatrix, Linear, ParamBank};
+use amud_quant::{Precision, QMatrix, QuantSpec};
 
 /// A dense layer's weights, copied out of the parameter bank:
 /// `w` is `in × out`, `b` is `1 × out` (the tape's `x·W + b` convention).
@@ -87,6 +88,179 @@ impl AdpaExport {
             + self.classifier.iter().map(&lin).sum::<usize>()
             + self.x0.as_slice().len()
             + self.steps.iter().flatten().map(|m| m.as_slice().len()).sum::<usize>()
+    }
+}
+
+/// A dense layer with the weight matrix stored at any [`Precision`].
+///
+/// The bias stays f32: it is `1 × out` (negligible bytes) and its add is
+/// the last op before an activation, where quantization noise is least
+/// welcome.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QLinear {
+    /// The (possibly quantized) weight matrix (`in_dim × out_dim`).
+    pub w: QMatrix,
+    /// The f32 bias row (`1 × out_dim`).
+    pub b: DenseMatrix,
+}
+
+impl QLinear {
+    fn quantize(l: &LinearExport, p: Precision) -> Self {
+        QLinear { w: QMatrix::quantize(&l.w, p), b: l.b.clone() }
+    }
+
+    fn wrap(l: LinearExport) -> Self {
+        QLinear { w: QMatrix::F32(l.w), b: l.b }
+    }
+
+    fn dequantize(&self) -> LinearExport {
+        LinearExport { w: self.w.dequantize(), b: self.b.clone() }
+    }
+
+    fn n_bytes(&self) -> usize {
+        self.w.n_bytes() + self.b.as_slice().len() * 4
+    }
+}
+
+/// [`AdpaExport`] with every matrix stored at a [`QuantSpec`]-chosen
+/// precision: feature tensors (`x0`, `steps`, `W_DP`) under
+/// `spec.features`, weight tensors (scorers, fuse, hop, classifier) under
+/// `spec.weights`. This is the in-memory form of a snapshot — the serving
+/// engine gathers rows and runs the fused-dequant kernels directly on it,
+/// so the byte reduction is resident, not just on disk.
+#[derive(Debug, Clone, PartialEq)]
+pub struct QuantizedExport {
+    /// The DP attention variant the weights were trained under.
+    pub dp_attention: DpAttention,
+    /// Propagation depth `K`.
+    pub k_steps: usize,
+    /// Hidden width of the fused representations.
+    pub hidden: usize,
+    /// Number of classes (the classifier's output width).
+    pub n_classes: usize,
+    /// Names of the DP operators in use (after selection), for reporting.
+    pub pattern_names: Vec<String>,
+    /// `W_DP` (`n × (k+1)`) when `dp_attention` is [`DpAttention::Original`].
+    pub w_dp: Option<QMatrix>,
+    /// Per-operator scorers (`f → 1` each) for Gate / Recursive.
+    pub op_scorers: Vec<QLinear>,
+    /// The fuse layer (`fuse_in → hidden`).
+    pub fuse: QLinear,
+    /// The hop-attention scorer (`K·hidden → K`) when hop attention is on.
+    pub hop_scorer: Option<QLinear>,
+    /// The classifier MLP layers (ReLU between, none after the last).
+    pub classifier: Vec<QLinear>,
+    /// The quantized input features `X^(0)` (`n × f`).
+    pub x0: QMatrix,
+    /// `steps[l-1][g]`: the step-`l` output of operator `g` (`n × f`).
+    pub steps: Vec<Vec<QMatrix>>,
+}
+
+impl QuantizedExport {
+    /// Wraps an f32 export without quantizing (every matrix moves into a
+    /// [`QMatrix::F32`]) — the identity embedding, bit-exact both ways.
+    pub fn from_export(e: AdpaExport) -> Self {
+        QuantizedExport {
+            dp_attention: e.dp_attention,
+            k_steps: e.k_steps,
+            hidden: e.hidden,
+            n_classes: e.n_classes,
+            pattern_names: e.pattern_names,
+            w_dp: e.w_dp.map(QMatrix::F32),
+            op_scorers: e.op_scorers.into_iter().map(QLinear::wrap).collect(),
+            fuse: QLinear::wrap(e.fuse),
+            hop_scorer: e.hop_scorer.map(QLinear::wrap),
+            classifier: e.classifier.into_iter().map(QLinear::wrap).collect(),
+            x0: QMatrix::F32(e.x0),
+            steps: e.steps.into_iter().map(|r| r.into_iter().map(QMatrix::F32).collect()).collect(),
+        }
+    }
+
+    /// Post-training quantization of an export under `spec`.
+    pub fn quantize(e: &AdpaExport, spec: QuantSpec) -> Self {
+        let (fp, wp) = (spec.features, spec.weights);
+        QuantizedExport {
+            dp_attention: e.dp_attention,
+            k_steps: e.k_steps,
+            hidden: e.hidden,
+            n_classes: e.n_classes,
+            pattern_names: e.pattern_names.clone(),
+            w_dp: e.w_dp.as_ref().map(|m| QMatrix::quantize(m, fp)),
+            op_scorers: e.op_scorers.iter().map(|l| QLinear::quantize(l, wp)).collect(),
+            fuse: QLinear::quantize(&e.fuse, wp),
+            hop_scorer: e.hop_scorer.as_ref().map(|l| QLinear::quantize(l, wp)),
+            classifier: e.classifier.iter().map(|l| QLinear::quantize(l, wp)).collect(),
+            x0: QMatrix::quantize(&e.x0, fp),
+            steps: e
+                .steps
+                .iter()
+                .map(|r| r.iter().map(|m| QMatrix::quantize(m, fp)).collect())
+                .collect(),
+        }
+    }
+
+    /// Expands every matrix back to f32 (the canonical single-rounding
+    /// decode). For a [`QuantizedExport::from_export`] wrap this is the
+    /// exact inverse.
+    pub fn dequantize(&self) -> AdpaExport {
+        AdpaExport {
+            dp_attention: self.dp_attention,
+            k_steps: self.k_steps,
+            hidden: self.hidden,
+            n_classes: self.n_classes,
+            pattern_names: self.pattern_names.clone(),
+            w_dp: self.w_dp.as_ref().map(QMatrix::dequantize),
+            op_scorers: self.op_scorers.iter().map(QLinear::dequantize).collect(),
+            fuse: self.fuse.dequantize(),
+            hop_scorer: self.hop_scorer.as_ref().map(QLinear::dequantize),
+            classifier: self.classifier.iter().map(QLinear::dequantize).collect(),
+            x0: self.x0.dequantize(),
+            steps: self.steps.iter().map(|r| r.iter().map(QMatrix::dequantize).collect()).collect(),
+        }
+    }
+
+    /// Number of nodes the export can answer queries for.
+    pub fn n_nodes(&self) -> usize {
+        self.x0.rows()
+    }
+
+    /// Feature width of the propagated tensors.
+    pub fn n_features(&self) -> usize {
+        self.x0.cols()
+    }
+
+    /// Number of DP operators `k` in the (selected) family.
+    pub fn n_patterns(&self) -> usize {
+        self.pattern_names.len()
+    }
+
+    /// Resident bytes of the per-node feature tensors (`x0`, `steps`,
+    /// `W_DP`) — the part of the artifact a row-gather touches, and the
+    /// numerator of `bench-serve`'s bytes-per-query.
+    pub fn feature_bytes(&self) -> usize {
+        self.x0.n_bytes()
+            + self.steps.iter().flat_map(|r| r.iter().map(QMatrix::n_bytes)).sum::<usize>()
+            + self.w_dp.as_ref().map_or(0, QMatrix::n_bytes)
+    }
+
+    /// Resident bytes of the shared weight tensors (scorers, fuse, hop,
+    /// classifier, including f32 biases).
+    pub fn weight_bytes(&self) -> usize {
+        self.op_scorers.iter().map(QLinear::n_bytes).sum::<usize>()
+            + self.fuse.n_bytes()
+            + self.hop_scorer.as_ref().map_or(0, QLinear::n_bytes)
+            + self.classifier.iter().map(QLinear::n_bytes).sum::<usize>()
+    }
+
+    /// Total resident payload bytes across every stored matrix.
+    pub fn n_bytes(&self) -> usize {
+        self.feature_bytes() + self.weight_bytes()
+    }
+
+    /// The `(features, weights)` precisions this export is stored at,
+    /// read off the representative tensors.
+    pub fn spec(&self) -> QuantSpec {
+        QuantSpec { features: self.x0.precision(), weights: self.fuse.w.precision() }
     }
 }
 
@@ -173,5 +347,43 @@ mod tests {
         let d = data("texas", 1);
         let model = Adpa::new(&d, AdpaConfig::default(), 1).unwrap();
         assert_eq!(model.export(), model.export());
+    }
+
+    #[test]
+    fn f32_wrap_round_trips_bit_exactly() {
+        let d = data("texas", 2);
+        let model = Adpa::new(&d, AdpaConfig::default(), 2).unwrap();
+        let e = model.export();
+        let wrapped = QuantizedExport::from_export(e.clone());
+        assert_eq!(wrapped.spec(), QuantSpec::F32);
+        assert_eq!(wrapped.dequantize(), e);
+        assert_eq!(wrapped.n_bytes(), e.n_floats() * 4);
+    }
+
+    #[test]
+    fn quantized_export_shrinks_and_keeps_shapes() {
+        let d = data("texas", 3);
+        let model = Adpa::new(&d, AdpaConfig::default(), 3).unwrap();
+        let e = model.export();
+        let f32_bytes = e.n_floats() * 4;
+        for (p, min_ratio) in [(Precision::F16, 1.7), (Precision::I8, 3.0)] {
+            let q = QuantizedExport::quantize(&e, QuantSpec::uniform(p));
+            assert_eq!(q.spec(), QuantSpec::uniform(p));
+            assert_eq!(q.n_nodes(), e.n_nodes());
+            assert_eq!(q.n_features(), e.n_features());
+            let ratio = f32_bytes as f64 / q.n_bytes() as f64;
+            assert!(ratio >= min_ratio, "{}: ratio {ratio:.2} < {min_ratio}", p.name());
+            let back = q.dequantize();
+            assert_eq!(back.k_steps, e.k_steps);
+            assert_eq!(back.x0.shape(), e.x0.shape());
+        }
+        // Mixed precision: features and weights quantize independently.
+        let mixed = QuantizedExport::quantize(
+            &e,
+            QuantSpec { features: Precision::I8, weights: Precision::F16 },
+        );
+        assert_eq!(mixed.x0.precision(), Precision::I8);
+        assert_eq!(mixed.fuse.w.precision(), Precision::F16);
+        assert_eq!(mixed.classifier.last().unwrap().w.precision(), Precision::F16);
     }
 }

@@ -46,6 +46,7 @@ pub mod propagation;
 
 pub use adpa::{Adpa, AdpaConfig, DpAttention};
 pub use amud::{amud_score, AmudDecision, AmudReport, PatternCorrelation};
-pub use export::{AdpaExport, LinearExport};
+pub use export::{AdpaExport, LinearExport, QLinear, QuantizedExport};
 pub use paradigm::{prepare_topology, Paradigm};
+pub use precompute::QuantizedFeatures;
 pub use propagation::PropagatedFeatures;

@@ -1,0 +1,45 @@
+//! Lint fixture: the quantization crate is governed by both
+//! `cache-key-completeness` and `determinism-taint`. Never compiled —
+//! only analyzed (under the label `crates/quant/src/fixture.rs`).
+//!
+//! Expected findings:
+//!   1 × cache-key-completeness — `lookup_dropping_scale` omits `scale`
+//!     from its store key even though a per-tensor scale changes every
+//!     dequantized byte the cached entry would serve.
+//!   1 × determinism-taint — an env-var-derived epsilon flows through
+//!     `env_epsilon` into tensor contents via `from_vec` in
+//!     `dequant_with_env_eps`.
+//! `lookup_complete` (full coverage through `let` dataflow) and
+//! `lookup_exempted` (justified KEY-EXEMPT) must NOT fire.
+
+pub fn lookup_dropping_scale(w: &DenseMatrix, scale: f32, precision: u32) -> Option<Thing> {
+    let fp = fingerprint_dense(w);
+    let key = (fp, precision);
+    quant_store().get(&key)
+}
+
+pub fn lookup_complete(w: &DenseMatrix, scale: f32, precision: u32) -> Option<Thing> {
+    let fp = fingerprint_dense(w);
+    let key = (fp, scale.to_bits(), precision);
+    quant_store().get(&key)
+}
+
+pub fn lookup_exempted(w: &DenseMatrix, reps: usize) -> Option<Thing> {
+    // KEY-EXEMPT(reps): benchmark repetition count — affects timing only,
+    // never the quantized payload the cached entry serves.
+    let key = fingerprint_dense(w);
+    quant_store().get(&key)
+}
+
+pub fn env_epsilon() -> f32 {
+    match std::env::var("QUANT_EPS") {
+        Ok(v) => v.len() as f32,
+        Err(_) => 0.0,
+    }
+}
+
+pub fn dequant_with_env_eps(q: &[i8], scale: f32) -> DenseMatrix {
+    let eps = env_epsilon();
+    let vals: Vec<f32> = q.iter().map(|&b| b as f32 * scale + eps).collect();
+    DenseMatrix::from_vec(q.len(), 1, vals)
+}

@@ -171,6 +171,7 @@ pub fn rules_for(path: &str) -> FileRules {
     let in_par = path.starts_with("crates/par/src/");
     let in_cache = path.starts_with("crates/cache/src/");
     let in_serve = path.starts_with("crates/serve/src/");
+    let in_quant = path.starts_with("crates/quant/src/");
     FileRules {
         forbid_panic: path.starts_with("crates/nn/src/")
             || path.starts_with("crates/graph/src/")
@@ -180,7 +181,11 @@ pub fn rules_for(path: &str) -> FileRules {
         forbid_sync_primitives: !in_par && !in_cache && !in_serve,
         float_determinism: !in_par,
         confine_raw_pointers: !in_par,
-        cache_key: in_cache || path == "crates/core/src/precompute.rs",
+        // Quantization parameters (scales, precision codes) feed cache
+        // keys and fingerprints, so amud-quant is governed like the
+        // cache layer: every key-adjacent fn param must flow or be
+        // KEY-EXEMPT-annotated.
+        cache_key: in_cache || in_quant || path == "crates/core/src/precompute.rs",
     }
 }
 

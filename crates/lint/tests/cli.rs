@@ -79,6 +79,27 @@ fn exit_1_on_each_interprocedural_fixture() {
 }
 
 #[test]
+fn exit_1_on_quant_crate_fixture() {
+    // amud-quant is governed by cache-key-completeness AND determinism-
+    // taint: the staged fixture trips both in a single run.
+    let dir = scratch().join("quant-governance");
+    let rel_label = "crates/quant/src/fixture.rs";
+    let dest = dir.join(rel_label);
+    std::fs::create_dir_all(dest.parent().expect("label has a parent dir"))
+        .expect("create staged crate dir");
+    std::fs::copy(fixture("quant_key.rs"), &dest).expect("stage fixture");
+    let out = Command::new(env!("CARGO_BIN_EXE_amud-lint"))
+        .current_dir(&dir)
+        .arg(rel_label)
+        .output()
+        .expect("spawn amud-lint");
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert_eq!(out.status.code(), Some(1), "stdout: {stdout}");
+    assert!(stdout.contains("cache-key-completeness"), "must trip cache-key: {stdout}");
+    assert!(stdout.contains("determinism-taint"), "must trip determinism-taint: {stdout}");
+}
+
+#[test]
 fn exit_1_on_float_determinism_fixture() {
     // float-determinism keys on its path label too (crates/par is exempt),
     // so stage the fixture under a governed crate path like the

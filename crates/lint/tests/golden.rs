@@ -144,6 +144,26 @@ fn determinism_taint_pass_golden() {
 }
 
 #[test]
+fn quant_crate_is_governed_golden() {
+    // amud-quant is governed like the cache layer: `lookup_dropping_scale`
+    // omits its per-tensor `scale` from the store key (1 × cache-key), and
+    // an env-var epsilon reaches tensor contents through `env_epsilon` →
+    // `from_vec` (1 × determinism-taint). Both land in the same snapshot.
+    golden_check_files(
+        "quant_key.rs",
+        "crates/quant/src/fixture.rs",
+        RuleKind::CacheKeyCompleteness,
+        1,
+    );
+    golden_check_files(
+        "quant_key.rs",
+        "crates/quant/src/fixture.rs",
+        RuleKind::DeterminismTaint,
+        1,
+    );
+}
+
+#[test]
 fn par_disjointness_pass_golden() {
     // Ad-hoc `vec![0..cut, …]` ranges with neither a partition provider
     // nor a `// DISJOINT:` proof.

@@ -75,7 +75,11 @@ fn bounded_parts(work: usize, min_per_part: usize) -> usize {
 /// Output-row partition for the matmul-family kernels: up to one range
 /// per participating thread, fewer when rows are scarce or each part
 /// would fall under [`PAR_MIN_FLOPS_PER_PART`]. Purely shape-driven.
-fn output_row_parts(n_rows: usize, flops_per_row: usize) -> Vec<Range<usize>> {
+///
+/// Public so sibling crates that implement matmul-shaped kernels over
+/// non-f32 operands (`amud-quant`'s fused dequant GEMM) partition with
+/// the *same* policy and inherit the same serial/parallel decision.
+pub fn output_row_parts(n_rows: usize, flops_per_row: usize) -> Vec<Range<usize>> {
     let parts = bounded_parts(n_rows.saturating_mul(flops_per_row), PAR_MIN_FLOPS_PER_PART)
         .min(n_rows.max(1));
     if parts <= 1 {
@@ -290,6 +294,66 @@ impl DenseMatrix {
                 }
                 for (j, o) in out_row.iter_mut().enumerate().skip(j_main) {
                     *o = amud_par::lane_dot(a_row, other.row(j));
+                }
+            }
+        });
+        out
+    }
+
+    /// Builds a one-time interleaved pack of `self` for repeated
+    /// [`DenseMatrix::matmul_transb_packed`] multiplies against it.
+    ///
+    /// `matmul_transb` streams four strided rows of B per output block;
+    /// when the *same* B is multiplied many times (per-epoch weight
+    /// gradients, per-query scorer weights) that stride cost is paid on
+    /// every call. The pack pays it once: the cache-blocked
+    /// [`DenseMatrix::transpose`] does the heavy reordering, then a
+    /// sequential copy interleaves each aligned group of four B rows into
+    /// one contiguous stream (`blocks[jb][k*4 + m] = B[4jb+m][k]`).
+    /// Leftover rows (`rows % 4`) stay row-major and take the `lane_dot`
+    /// tail path unchanged.
+    pub fn pack_transb(&self) -> PackedTransB {
+        let j_main = self.rows - self.rows % 4;
+        let bt = self.transpose();
+        let mut blocks = Vec::with_capacity(j_main * self.cols);
+        for jb in 0..j_main / 4 {
+            for k in 0..self.cols {
+                blocks.extend_from_slice(&bt.row(k)[jb * 4..jb * 4 + 4]);
+            }
+        }
+        let tail = self.data[j_main * self.cols..].to_vec();
+        PackedTransB { n_rows: self.rows, cols: self.cols, blocks, tail }
+    }
+
+    /// `self · Bᵀ` against a pre-packed B — bit-identical to
+    /// [`DenseMatrix::matmul_transb`] on the matrix the pack was built
+    /// from.
+    ///
+    /// Same output-row partition, and per output the identical reduction:
+    /// packed blocks run [`lanes::lane_dot4_interleaved`] (pinned bitwise
+    /// to `lane_dot4`, which is pinned to `lane_dot`), tail outputs run
+    /// `lane_dot` on the row-major tail rows.
+    pub fn matmul_transb_packed(&self, packed: &PackedTransB) -> DenseMatrix {
+        assert_eq!(self.cols, packed.cols, "matmul_transb_packed: inner dimensions differ");
+        let mut out = DenseMatrix::zeros(self.rows, packed.n_rows);
+        if packed.n_rows == 0 {
+            return out;
+        }
+        let parts = output_row_parts(self.rows, self.cols * packed.n_rows);
+        let j_main = packed.n_rows - packed.n_rows % 4;
+        let block_len = packed.cols * 4;
+        amud_par::par_row_blocks_mut(&mut out.data, packed.n_rows, &parts, |_, rows, block| {
+            for (out_row, i) in block.chunks_exact_mut(packed.n_rows).zip(rows) {
+                let a_row = self.row(i);
+                for jb in 0..j_main / 4 {
+                    let b4 = &packed.blocks[jb * block_len..(jb + 1) * block_len];
+                    let d = lanes::lane_dot4_interleaved(a_row, b4);
+                    out_row[jb * 4..jb * 4 + 4].copy_from_slice(&d);
+                }
+                for (j, o) in out_row.iter_mut().enumerate().skip(j_main) {
+                    let t =
+                        &packed.tail[(j - j_main) * packed.cols..(j - j_main + 1) * packed.cols];
+                    *o = amud_par::lane_dot(a_row, t);
                 }
             }
         });
@@ -564,6 +628,35 @@ impl DenseMatrix {
     }
 }
 
+/// One-time interleaved pack of a B matrix for repeated
+/// [`DenseMatrix::matmul_transb_packed`] calls — see
+/// [`DenseMatrix::pack_transb`] for the layout.
+#[derive(Debug, Clone, PartialEq)]
+pub struct PackedTransB {
+    /// Row count of the packed B (the output column count).
+    n_rows: usize,
+    /// Column count of the packed B (the shared inner dimension).
+    cols: usize,
+    /// `⌊n_rows/4⌋` interleaved blocks of `cols·4` floats:
+    /// `blocks[jb·cols·4 + k·4 + m] = B[4·jb + m][k]`.
+    blocks: Vec<f32>,
+    /// The `n_rows % 4` leftover rows, row-major.
+    tail: Vec<f32>,
+}
+
+impl PackedTransB {
+    /// Row count of the matrix this pack was built from.
+    pub fn n_rows(&self) -> usize {
+        self.n_rows
+    }
+
+    /// Column count (inner dimension) of the matrix this pack was built
+    /// from.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+}
+
 #[cfg(test)]
 mod tests {
     use super::*;
@@ -601,6 +694,47 @@ mod tests {
     #[test]
     fn transpose_roundtrip() {
         assert_eq!(a().transpose().transpose(), a());
+    }
+
+    #[test]
+    fn packed_transb_is_bit_identical_to_matmul_transb() {
+        // Shapes cover the interleaved block path, the row-major tail
+        // (n % 4), sub-lane k extents, and parallel-partition sizes.
+        for (m, k, n) in [(2, 3, 3), (5, 7, 9), (16, 8, 4), (33, 65, 30), (64, 128, 47)] {
+            let a = DenseMatrix::from_fn(m, k, |r, c| ((r * 31 + c * 17) as f32 * 0.7).sin());
+            let b = DenseMatrix::from_fn(n, k, |r, c| ((r * 13 + c * 29) as f32 * 0.3).cos());
+            let packed = b.pack_transb();
+            let via_pack = a.matmul_transb_packed(&packed);
+            let direct = a.matmul_transb(&b);
+            assert_eq!(via_pack.rows(), direct.rows());
+            assert_eq!(via_pack.cols(), direct.cols());
+            for (x, y) in via_pack.as_slice().iter().zip(direct.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "m={m} k={k} n={n}");
+            }
+        }
+    }
+
+    #[test]
+    fn packed_transb_handles_degenerate_shapes() {
+        let lhs = DenseMatrix::zeros(3, 0);
+        let rhs = DenseMatrix::zeros(5, 0);
+        let out = lhs.matmul_transb_packed(&rhs.pack_transb());
+        assert_eq!(out.shape(), (3, 5));
+        let empty = DenseMatrix::zeros(0, 3);
+        assert_eq!(a().matmul_transb_packed(&empty.pack_transb()).shape(), (2, 0));
+    }
+
+    #[test]
+    fn packed_transb_is_thread_count_invariant() {
+        let a = DenseMatrix::from_fn(40, 24, |r, c| ((r * 7 + c) as f32 * 0.11).sin());
+        let b = DenseMatrix::from_fn(22, 24, |r, c| ((r + c * 5) as f32 * 0.23).cos());
+        let reference = amud_par::with_threads(1, || a.matmul_transb_packed(&b.pack_transb()));
+        for threads in [2, 3, 8] {
+            let got = amud_par::with_threads(threads, || a.matmul_transb_packed(&b.pack_transb()));
+            for (x, y) in got.as_slice().iter().zip(reference.as_slice()) {
+                assert_eq!(x.to_bits(), y.to_bits(), "threads={threads}");
+            }
+        }
     }
 
     #[test]

@@ -1,0 +1,68 @@
+//! Property tests for the quantization error model (ISSUE 9 / DESIGN.md
+//! §15): int8 error is bounded by half the per-tensor scale, f16 is exact
+//! on everything binary16 can represent, and the encoder is idempotent
+//! (encoding a decoded f16 value reproduces the same bits).
+
+use amud_nn::matrix::DenseMatrix;
+use amud_quant::{f16_from_f32, f16_to_f32, Precision, QMatrix};
+use proptest::prelude::*;
+
+/// Strategy: bounded finite f32 values with varied magnitudes.
+fn finite_vals(n: usize) -> impl Strategy<Value = Vec<f32>> {
+    prop::collection::vec(-1000.0f32..1000.0, n)
+}
+
+proptest! {
+    #[test]
+    fn int8_error_is_bounded_by_half_scale(vals in finite_vals(64)) {
+        let m = DenseMatrix::from_vec(8, 8, vals);
+        let q = QMatrix::quantize(&m, Precision::I8);
+        let QMatrix::I8 { scale, .. } = &q else { panic!("expected I8") };
+        let d = q.dequantize();
+        for (x, y) in m.as_slice().iter().zip(d.as_slice()) {
+            // scale/2 in exact arithmetic; a hair of slack covers the two
+            // f32 roundings (divide on encode, multiply on decode).
+            let bound = *scale as f64 * 0.5 * (1.0 + 1e-5);
+            prop_assert!(((x - y).abs() as f64) <= bound, "x={} y={} scale={}", x, y, scale);
+        }
+    }
+
+    #[test]
+    fn f16_is_exact_on_representable_values(bits in prop::collection::vec(0u64..65536, 32)) {
+        // Values synthesized *from* f16 bit patterns are exactly
+        // representable, so quantize→dequantize must be the identity on
+        // them (bitwise, excluding NaNs).
+        let vals: Vec<f32> = bits
+            .iter()
+            .map(|&b| f16_to_f32(b as u16))
+            .map(|v| if v.is_nan() || v.is_infinite() { 0.0 } else { v })
+            .collect();
+        let m = DenseMatrix::from_vec(4, 8, vals);
+        let q = QMatrix::quantize(&m, Precision::F16);
+        let d = q.dequantize();
+        for (x, y) in m.as_slice().iter().zip(d.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+
+    #[test]
+    fn f16_encode_is_idempotent(v in -1e38f32..1e38) {
+        // Encoding any finite f32 and decoding it lands on a representable
+        // value; re-encoding that value must reproduce the same bits.
+        let once = f16_from_f32(v);
+        let again = f16_from_f32(f16_to_f32(once));
+        prop_assert_eq!(once, again);
+    }
+
+    #[test]
+    fn quantized_matmul_stays_pinned_to_reference(vals in finite_vals(48), p in 0usize..3) {
+        let precision = Precision::from_code(p as u32).unwrap();
+        let a = DenseMatrix::from_fn(5, 6, |r, c| ((r * 7 + c * 3) % 5) as f32 - 2.0);
+        let b = QMatrix::quantize(&DenseMatrix::from_vec(6, 8, vals), precision);
+        let fused = amud_quant::matmul_deq(&a, &b);
+        let reference = a.matmul(&b.dequantize());
+        for (x, y) in fused.as_slice().iter().zip(reference.as_slice()) {
+            prop_assert_eq!(x.to_bits(), y.to_bits());
+        }
+    }
+}

@@ -15,11 +15,20 @@
 //! Dense kernels (`matmul`) ride `amud-par`'s worker pool and inherit its
 //! bit-identity-at-any-thread-count contract; the elementwise glue here
 //! runs serially (request batches are small next to training workloads).
+//!
+//! **Quantized snapshots** run the fused-dequant path: row gathers decode
+//! f16/int8 rows on the fly ([`QMatrix::decode_row_into`]) and dense
+//! layers go through [`amud_quant::matmul_deq`], which dequantizes inside
+//! the lane kernels instead of materializing an f32 copy of the weights.
+//! Because the decode is a single rounding shared by both paths, a
+//! quantized engine is bit-identical to an f32 engine built from the
+//! dequantized export — pinned by `quantized_engine_matches_dequantized`.
 
 use crate::error::{ServeError, SnapshotError};
 use crate::snapshot::Snapshot;
-use amud_core::{AdpaExport, DpAttention, LinearExport};
+use amud_core::{DpAttention, QLinear, QuantizedExport};
 use amud_nn::DenseMatrix;
+use amud_quant::{matmul_deq, QMatrix};
 
 /// One prediction in a reply.
 #[derive(Debug, Clone, PartialEq)]
@@ -37,7 +46,7 @@ pub struct Prediction {
 #[derive(Debug)]
 pub struct Engine {
     tag: u64,
-    export: AdpaExport,
+    export: QuantizedExport,
 }
 
 impl Engine {
@@ -171,6 +180,22 @@ impl Engine {
         self.export.n_classes
     }
 
+    /// The `(features, weights)` storage precisions of the loaded model.
+    pub fn spec(&self) -> amud_quant::QuantSpec {
+        self.export.spec()
+    }
+
+    /// Resident bytes across every stored tensor of the loaded model.
+    pub fn n_bytes(&self) -> usize {
+        self.export.n_bytes()
+    }
+
+    /// Resident bytes of the per-node feature tensors — what a row-gather
+    /// walks, and the numerator of `bench-serve`'s bytes-per-query.
+    pub fn feature_bytes(&self) -> usize {
+        self.export.feature_bytes()
+    }
+
     /// Raw logits for the requested nodes (one row per node, in request
     /// order). Out-of-range ids are a typed [`ServeError::BadRequest`].
     pub fn logits(&self, nodes: &[usize]) -> Result<DenseMatrix, ServeError> {
@@ -297,21 +322,27 @@ impl Engine {
     }
 }
 
-/// Gathers the requested rows of `m` into a `b × cols` matrix.
-fn gather(m: &DenseMatrix, nodes: &[usize]) -> DenseMatrix {
+/// Gathers the requested rows of `m` into a `b × cols` f32 matrix,
+/// decoding quantized rows on the fly (one rounding per element — the
+/// same decode `dequantize` uses, so gathers are precision-agnostic).
+fn gather(m: &QMatrix, nodes: &[usize]) -> DenseMatrix {
     let cols = m.cols();
-    let mut data = Vec::with_capacity(nodes.len() * cols);
-    for &v in nodes {
-        data.extend_from_slice(m.row(v));
+    let mut out = DenseMatrix::zeros(nodes.len(), cols);
+    for (i, &v) in nodes.iter().enumerate() {
+        m.decode_row_into(v, out.row_mut(i));
     }
-    DenseMatrix::from_vec(nodes.len(), cols, data)
+    out
 }
 
-/// `x · W + b` — the tape's `matmul` + `add_bias` pair. The matmul is the
-/// shared row-blocked kernel; the bias add replays `add_bias`'s per-row
-/// `+=` in the same element order.
-fn linear(x: &DenseMatrix, l: &LinearExport) -> DenseMatrix {
-    let mut y = x.matmul(&l.w);
+/// `x · W + b` — the tape's `matmul` + `add_bias` pair. An f32 weight
+/// runs the shared row-blocked kernel; a quantized one runs the fused
+/// dequant GEMM (bitwise-pinned to decode-then-matmul). The bias add
+/// replays `add_bias`'s per-row `+=` in the same element order.
+fn linear(x: &DenseMatrix, l: &QLinear) -> DenseMatrix {
+    let mut y = match &l.w {
+        QMatrix::F32(w) => x.matmul(w),
+        q => matmul_deq(x, q),
+    };
     let bias = l.b.row(0);
     for r in 0..y.rows() {
         for (v, &b) in y.row_mut(r).iter_mut().zip(bias) {
@@ -432,7 +463,7 @@ mod tests {
             let model = Adpa::new(&d, cfg, 11).unwrap();
             let full = tape_logits(&model, &d);
             let engine =
-                Engine::new(Snapshot { tag: 1, export: model.export() }).expect("valid export");
+                Engine::new(Snapshot::from_export(1, model.export())).expect("valid export");
             // Whole-graph query in one batch…
             let all: Vec<usize> = (0..d.n_nodes()).collect();
             let got = engine.logits(&all).unwrap();
@@ -442,6 +473,39 @@ mod tests {
             let got = engine.logits(&batch).unwrap();
             for (i, &v) in batch.iter().enumerate() {
                 assert_eq!(got.row(i), full.row(v), "{variant:?} row {v}");
+            }
+        }
+    }
+
+    #[test]
+    fn quantized_engine_matches_dequantized_f32_engine_bit_for_bit() {
+        use amud_quant::{Precision, QuantSpec};
+        // The fused-dequant inference path must equal decode-then-serve
+        // exactly: build one engine on the quantized snapshot and one on
+        // its f32 expansion, and compare logits bitwise — per variant and
+        // per precision, across batch shapes.
+        for variant in 0..5u32 {
+            let base = synthetic_snapshot(31 + u64::from(variant), 14, 6, 3, 2, 8, variant);
+            for spec in [
+                QuantSpec::uniform(Precision::F16),
+                QuantSpec::uniform(Precision::I8),
+                QuantSpec { features: Precision::F16, weights: Precision::I8 },
+            ] {
+                let q = base.requantized(spec);
+                let f32_twin = Snapshot {
+                    tag: q.tag,
+                    export: amud_core::QuantizedExport::from_export(q.export.dequantize()),
+                };
+                let qe = Engine::new(q).expect("quantized snapshot must validate");
+                assert_eq!(qe.spec(), spec);
+                assert!(qe.n_bytes() < Engine::new(f32_twin.clone()).unwrap().n_bytes());
+                let fe = Engine::new(f32_twin).unwrap();
+                let all: Vec<usize> = (0..14).collect();
+                for batch in [&all[..], &[0usize, 13, 7][..], &[5usize][..]] {
+                    let got = qe.logits(batch).unwrap();
+                    let want = fe.logits(batch).unwrap();
+                    assert_eq!(got, want, "variant {variant} spec {spec:?} batch {batch:?}");
+                }
             }
         }
     }
@@ -481,7 +545,7 @@ mod tests {
         }
         // Truncate W_DP.
         let mut snap = synthetic_snapshot(3, 6, 4, 2, 2, 8, 0);
-        snap.export.w_dp = Some(DenseMatrix::zeros(6, 2));
+        snap.export.w_dp = Some(QMatrix::F32(DenseMatrix::zeros(6, 2)));
         assert!(Engine::new(snap).is_err());
         // Classifier that ends at the wrong width.
         let mut snap = synthetic_snapshot(3, 6, 4, 2, 2, 8, 0);

@@ -552,15 +552,15 @@ fn run_batch(engine: &Engine, batch: Vec<Request>, shared: &Arc<Shared>) {
     let merged: Vec<usize> = live.iter().flat_map(|r| r.nodes.iter().copied()).collect();
     match engine.predict(&merged) {
         Ok(all_preds) => {
+            // Count before replying: a client that has its reply in hand
+            // must see itself reflected in an immediate STATS read.
+            shared.lock().stats.served += live.len() as u64;
             let mut offset = 0;
-            let mut served = 0;
             for req in &live {
                 let slice = all_preds[offset..offset + req.nodes.len()].to_vec();
                 offset += req.nodes.len();
-                served += 1;
                 let _ = req.reply_tx.try_send(Reply::Predictions(slice));
             }
-            shared.lock().stats.served += served;
         }
         Err(_) => {
             for req in &live {

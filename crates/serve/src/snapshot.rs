@@ -21,21 +21,32 @@
 //!
 //! ```text
 //! magic    8 B   "AMUDSNP\n"
-//! version  u32   1
+//! version  u32   2 (v1 files are still decoded; see below)
 //! tag      u64   caller-chosen (seed, build id, …)
 //! n_sect   u32   3
 //! 3 × section:   tag u32 · len u64 · payload · seal u64 = fnv(payload)
 //! file seal u64  fnv(everything above)
 //! ```
+//!
+//! **Version 2** (quantized sections): every weight/feature matrix is
+//! written as `precision u32 · rows u32 · cols u32 · payload`, where the
+//! payload is raw f32 little-endian words (precision 0), binary16 bit
+//! patterns (precision 1), or one f32 scale followed by raw int8 bytes
+//! (precision 2). Biases are always f32. **Version 1** had no precision
+//! prefix (all matrices f32); v1 files decode into the same
+//! [`Snapshot`] with every matrix wrapped at f32, so pre-quantization
+//! artifacts keep working. Writers always emit v2. Seals and framing are
+//! identical across both versions.
 
 use crate::error::SnapshotError;
 use amud_cache::{fingerprint_bytes, Fnv1a};
-use amud_core::{AdpaExport, DpAttention, LinearExport};
+use amud_core::{AdpaExport, DpAttention, QLinear, QuantizedExport};
 use amud_nn::DenseMatrix;
+use amud_quant::{Precision, QMatrix, QuantSpec};
 use std::path::Path;
 
 const MAGIC: &[u8; 8] = b"AMUDSNP\n";
-const VERSION: u32 = 1;
+const VERSION: u32 = 2;
 const SECTION_META: u32 = 1;
 const SECTION_WEIGHTS: u32 = 2;
 const SECTION_FEATURES: u32 = 3;
@@ -48,8 +59,26 @@ pub struct Snapshot {
     /// build number, …); surfaced by the server's stats endpoint so a
     /// hot swap is observable.
     pub tag: u64,
-    /// The model state (weights + propagated features).
-    pub export: AdpaExport,
+    /// The model state (weights + propagated features), each matrix at
+    /// its stored precision. An f32 artifact is the identity wrap.
+    pub export: QuantizedExport,
+}
+
+impl Snapshot {
+    /// Wraps a freshly exported f32 model (no quantization).
+    pub fn from_export(tag: u64, export: AdpaExport) -> Self {
+        Snapshot { tag, export: QuantizedExport::from_export(export) }
+    }
+
+    /// Re-quantizes this snapshot under `spec` (decode to f32, then
+    /// quantize each tensor class). Exact when the source is f32 — the
+    /// post-training quantization entry point for artifacts.
+    pub fn requantized(&self, spec: QuantSpec) -> Snapshot {
+        Snapshot {
+            tag: self.tag,
+            export: QuantizedExport::quantize(&self.export.dequantize(), spec),
+        }
+    }
 }
 
 // ---------------------------------------------------------------------
@@ -77,8 +106,34 @@ fn put_matrix(out: &mut Vec<u8>, m: &DenseMatrix) {
     }
 }
 
-fn put_linear(out: &mut Vec<u8>, l: &LinearExport) {
-    put_matrix(out, &l.w);
+/// v2 matrix layout: `precision u32 · rows u32 · cols u32 · payload`.
+/// I8 payloads carry their f32 scale before the raw bytes.
+fn put_qmatrix(out: &mut Vec<u8>, m: &QMatrix) {
+    put_u32(out, m.precision().code());
+    put_u32(out, m.rows() as u32);
+    put_u32(out, m.cols() as u32);
+    match m {
+        QMatrix::F32(d) => {
+            for &v in d.as_slice() {
+                out.extend_from_slice(&v.to_le_bytes());
+            }
+        }
+        QMatrix::F16 { bits, .. } => {
+            for &b in bits {
+                out.extend_from_slice(&b.to_le_bytes());
+            }
+        }
+        QMatrix::I8 { scale, q, .. } => {
+            out.extend_from_slice(&scale.to_le_bytes());
+            for &v in q {
+                out.push(v as u8);
+            }
+        }
+    }
+}
+
+fn put_qlinear(out: &mut Vec<u8>, l: &QLinear) {
+    put_qmatrix(out, &l.w);
     put_matrix(out, &l.b);
 }
 
@@ -111,20 +166,20 @@ fn encode_weights(s: &Snapshot) -> Vec<u8> {
     let mut out = Vec::new();
     put_u32(&mut out, u32::from(e.w_dp.is_some()));
     if let Some(w) = &e.w_dp {
-        put_matrix(&mut out, w);
+        put_qmatrix(&mut out, w);
     }
     put_u32(&mut out, e.op_scorers.len() as u32);
     for l in &e.op_scorers {
-        put_linear(&mut out, l);
+        put_qlinear(&mut out, l);
     }
-    put_linear(&mut out, &e.fuse);
+    put_qlinear(&mut out, &e.fuse);
     put_u32(&mut out, u32::from(e.hop_scorer.is_some()));
     if let Some(l) = &e.hop_scorer {
-        put_linear(&mut out, l);
+        put_qlinear(&mut out, l);
     }
     put_u32(&mut out, e.classifier.len() as u32);
     for l in &e.classifier {
-        put_linear(&mut out, l);
+        put_qlinear(&mut out, l);
     }
     out
 }
@@ -132,12 +187,12 @@ fn encode_weights(s: &Snapshot) -> Vec<u8> {
 fn encode_features(s: &Snapshot) -> Vec<u8> {
     let e = &s.export;
     let mut out = Vec::new();
-    put_matrix(&mut out, &e.x0);
+    put_qmatrix(&mut out, &e.x0);
     put_u32(&mut out, e.steps.len() as u32);
     put_u32(&mut out, e.steps.first().map_or(0, Vec::len) as u32);
     for per_step in &e.steps {
         for m in per_step {
-            put_matrix(&mut out, m);
+            put_qmatrix(&mut out, m);
         }
     }
     out
@@ -213,31 +268,87 @@ impl<'a> Reader<'a> {
         })
     }
 
-    fn matrix(&mut self) -> Result<DenseMatrix, SnapshotError> {
+    fn f32(&mut self) -> Result<f32, SnapshotError> {
+        let b = self.take(4)?;
+        Ok(f32::from_le_bytes([b[0], b[1], b[2], b[3]]))
+    }
+
+    /// Validated `rows × cols` shape with an overflow- and
+    /// payload-bounded element count. Zero dimensions are rejected up
+    /// front so no variant can smuggle in an empty tensor.
+    fn shape(&mut self, elem_bytes: usize) -> Result<(usize, usize, usize, usize), SnapshotError> {
         let rows = self.u32()? as usize;
         let cols = self.u32()? as usize;
-        let n = rows.checked_mul(cols).ok_or_else(|| SnapshotError::Malformed {
-            what: format!("matrix dimension overflow in {}", self.section),
-        })?;
-        // Bound the allocation by what the payload can actually hold.
-        let bytes = n.checked_mul(4).ok_or_else(|| SnapshotError::Malformed {
-            what: format!("matrix byte-size overflow in {}", self.section),
-        })?;
-        let raw = self.take(bytes)?;
-        let mut data = Vec::with_capacity(n);
-        for chunk in raw.chunks_exact(4) {
-            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
-        }
         if rows == 0 || cols == 0 {
             return Err(SnapshotError::Malformed {
                 what: format!("zero-dimension matrix in {}", self.section),
             });
         }
+        let n = rows.checked_mul(cols).ok_or_else(|| SnapshotError::Malformed {
+            what: format!("matrix dimension overflow in {}", self.section),
+        })?;
+        // Bound the allocation by what the payload can actually hold.
+        let bytes = n.checked_mul(elem_bytes).ok_or_else(|| SnapshotError::Malformed {
+            what: format!("matrix byte-size overflow in {}", self.section),
+        })?;
+        Ok((rows, cols, n, bytes))
+    }
+
+    fn matrix(&mut self) -> Result<DenseMatrix, SnapshotError> {
+        let (rows, cols, n, bytes) = self.shape(4)?;
+        let raw = self.take(bytes)?;
+        let mut data = Vec::with_capacity(n);
+        for chunk in raw.chunks_exact(4) {
+            data.push(f32::from_le_bytes([chunk[0], chunk[1], chunk[2], chunk[3]]));
+        }
         Ok(DenseMatrix::from_vec(rows, cols, data))
     }
 
-    fn linear(&mut self) -> Result<LinearExport, SnapshotError> {
-        Ok(LinearExport { w: self.matrix()?, b: self.matrix()? })
+    /// A v2 precision-prefixed matrix; with `legacy` set, parses the v1
+    /// f32 layout instead and wraps it at f32.
+    fn qmatrix(&mut self, legacy: bool) -> Result<QMatrix, SnapshotError> {
+        if legacy {
+            return self.matrix().map(QMatrix::F32);
+        }
+        let code = self.u32()?;
+        let precision = Precision::from_code(code).ok_or_else(|| SnapshotError::Malformed {
+            what: format!("unknown precision code {code} in {}", self.section),
+        })?;
+        match precision {
+            Precision::F32 => self.matrix().map(QMatrix::F32),
+            Precision::F16 => {
+                let (rows, cols, n, bytes) = self.shape(2)?;
+                let raw = self.take(bytes)?;
+                let mut bits = Vec::with_capacity(n);
+                for chunk in raw.chunks_exact(2) {
+                    bits.push(u16::from_le_bytes([chunk[0], chunk[1]]));
+                }
+                QMatrix::try_f16(rows, cols, bits).ok_or_else(|| SnapshotError::Malformed {
+                    what: format!("invalid f16 matrix shape in {}", self.section),
+                })
+            }
+            Precision::I8 => {
+                let (rows, cols, n, bytes) = self.shape(1)?;
+                let scale = self.f32()?;
+                if !scale.is_finite() || scale <= 0.0 {
+                    return Err(SnapshotError::Malformed {
+                        what: format!("non-positive int8 scale in {}", self.section),
+                    });
+                }
+                let raw = self.take(bytes)?;
+                let mut q = Vec::with_capacity(n);
+                for &b in raw {
+                    q.push(b as i8);
+                }
+                QMatrix::try_i8(rows, cols, scale, q).ok_or_else(|| SnapshotError::Malformed {
+                    what: format!("invalid int8 matrix shape in {}", self.section),
+                })
+            }
+        }
+    }
+
+    fn qlinear(&mut self, legacy: bool) -> Result<QLinear, SnapshotError> {
+        Ok(QLinear { w: self.qmatrix(legacy)?, b: self.matrix()? })
     }
 
     fn finish(self) -> Result<(), SnapshotError> {
@@ -295,9 +406,12 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
         return Err(SnapshotError::BadMagic);
     }
     let version = hdr.u32()?;
-    if version != VERSION {
+    if version != 1 && version != VERSION {
         return Err(SnapshotError::UnsupportedVersion { found: version });
     }
+    // v1 predates quantized sections: plain f32 matrices, no precision
+    // prefix. Decoded as the f32 wrap of the same model.
+    let legacy = version == 1;
     let tag = hdr.u64()?;
     let n_sections = hdr.u32()?;
     if n_sections != 3 {
@@ -360,37 +474,37 @@ pub fn decode_snapshot(bytes: &[u8]) -> Result<Snapshot, SnapshotError> {
 
     // --- WEIGHTS ------------------------------------------------------
     let mut r = Reader::new(payloads[1], "WEIGHTS");
-    let w_dp = if r.u32()? != 0 { Some(r.matrix()?) } else { None };
+    let w_dp = if r.u32()? != 0 { Some(r.qmatrix(legacy)?) } else { None };
     let n_scorers = checked_count(r.u32()?, "op-scorer", "WEIGHTS")?;
     let mut op_scorers = Vec::with_capacity(n_scorers);
     for _ in 0..n_scorers {
-        op_scorers.push(r.linear()?);
+        op_scorers.push(r.qlinear(legacy)?);
     }
-    let fuse = r.linear()?;
-    let hop_scorer = if r.u32()? != 0 { Some(r.linear()?) } else { None };
+    let fuse = r.qlinear(legacy)?;
+    let hop_scorer = if r.u32()? != 0 { Some(r.qlinear(legacy)?) } else { None };
     let n_classifier = checked_count(r.u32()?, "classifier-layer", "WEIGHTS")?;
     let mut classifier = Vec::with_capacity(n_classifier);
     for _ in 0..n_classifier {
-        classifier.push(r.linear()?);
+        classifier.push(r.qlinear(legacy)?);
     }
     r.finish()?;
 
     // --- FEATURES -----------------------------------------------------
     let mut r = Reader::new(payloads[2], "FEATURES");
-    let x0 = r.matrix()?;
+    let x0 = r.qmatrix(legacy)?;
     let got_steps = checked_count(r.u32()?, "step", "FEATURES")?;
     let got_patterns = checked_count(r.u32()?, "operator", "FEATURES")?;
     let mut steps = Vec::with_capacity(got_steps);
     for _ in 0..got_steps {
         let mut per_step = Vec::with_capacity(got_patterns);
         for _ in 0..got_patterns {
-            per_step.push(r.matrix()?);
+            per_step.push(r.qmatrix(legacy)?);
         }
         steps.push(per_step);
     }
     r.finish()?;
 
-    let export = AdpaExport {
+    let export = QuantizedExport {
         dp_attention,
         k_steps,
         hidden,
@@ -448,12 +562,138 @@ pub fn read_snapshot(path: &Path) -> Result<Snapshot, SnapshotError> {
 mod tests {
     use super::*;
     use crate::synthetic::synthetic_snapshot;
+    use amud_core::LinearExport;
     use amud_train::faults::{corrupt_binary, truncate_binary};
 
     fn tmp_path(name: &str) -> std::path::PathBuf {
         let mut p = std::env::temp_dir();
         p.push(format!("amud-serve-test-{}-{name}", std::process::id()));
         p
+    }
+
+    // --- test-only v1 encoder (the pre-quantization f32 layout) -------
+
+    fn put_linear_v1(out: &mut Vec<u8>, l: &LinearExport) {
+        put_matrix(out, &l.w);
+        put_matrix(out, &l.b);
+    }
+
+    fn encode_snapshot_v1(s: &Snapshot) -> Vec<u8> {
+        assert_eq!(s.export.spec(), QuantSpec::F32, "v1 files can only hold f32 models");
+        let e = s.export.dequantize();
+        let mut weights = Vec::new();
+        put_u32(&mut weights, u32::from(e.w_dp.is_some()));
+        if let Some(w) = &e.w_dp {
+            put_matrix(&mut weights, w);
+        }
+        put_u32(&mut weights, e.op_scorers.len() as u32);
+        for l in &e.op_scorers {
+            put_linear_v1(&mut weights, l);
+        }
+        put_linear_v1(&mut weights, &e.fuse);
+        put_u32(&mut weights, u32::from(e.hop_scorer.is_some()));
+        if let Some(l) = &e.hop_scorer {
+            put_linear_v1(&mut weights, l);
+        }
+        put_u32(&mut weights, e.classifier.len() as u32);
+        for l in &e.classifier {
+            put_linear_v1(&mut weights, l);
+        }
+        let mut features = Vec::new();
+        put_matrix(&mut features, &e.x0);
+        put_u32(&mut features, e.steps.len() as u32);
+        put_u32(&mut features, e.steps.first().map_or(0, Vec::len) as u32);
+        for per_step in &e.steps {
+            for m in per_step {
+                put_matrix(&mut features, m);
+            }
+        }
+        let mut out = Vec::new();
+        out.extend_from_slice(MAGIC);
+        put_u32(&mut out, 1);
+        put_u64(&mut out, s.tag);
+        put_u32(&mut out, 3);
+        for (tag, payload) in [
+            (SECTION_META, encode_meta(s)),
+            (SECTION_WEIGHTS, weights),
+            (SECTION_FEATURES, features),
+        ] {
+            put_u32(&mut out, tag);
+            put_u64(&mut out, payload.len() as u64);
+            out.extend_from_slice(&payload);
+            put_u64(&mut out, fingerprint_bytes(&payload));
+        }
+        let mut fnv = Fnv1a::new();
+        fnv.write_bytes(&out);
+        let file_seal = fnv.finish();
+        put_u64(&mut out, file_seal);
+        out
+    }
+
+    #[test]
+    fn v1_files_still_decode_to_the_same_model() {
+        for variant in 0..5u64 {
+            let snap = synthetic_snapshot(11 + variant, 10, 4, 3, 2, 8, variant as u32);
+            let v1_bytes = encode_snapshot_v1(&snap);
+            let v2_bytes = encode_snapshot(&snap);
+            assert_ne!(v1_bytes, v2_bytes, "v2 adds precision prefixes");
+            let back = decode_snapshot(&v1_bytes).expect("v1 layout must stay decodable");
+            assert_eq!(back, snap, "variant {variant}");
+        }
+    }
+
+    #[test]
+    fn quantized_snapshots_round_trip_by_precision() {
+        let base = synthetic_snapshot(21, 10, 4, 3, 2, 8, 0);
+        for spec in [
+            QuantSpec::uniform(Precision::F16),
+            QuantSpec::uniform(Precision::I8),
+            QuantSpec { features: Precision::I8, weights: Precision::F16 },
+        ] {
+            let q = base.requantized(spec);
+            assert_eq!(q.export.spec(), spec);
+            let bytes = encode_snapshot(&q);
+            let back = decode_snapshot(&bytes).expect("quantized encoding must decode");
+            assert_eq!(back, q, "spec {:?}", spec);
+        }
+    }
+
+    #[test]
+    fn quantized_snapshots_shrink_on_the_wire() {
+        let base = synthetic_snapshot(22, 32, 16, 3, 3, 8, 0);
+        let f32_len = encode_snapshot(&base).len();
+        let f16_len = encode_snapshot(&base.requantized(QuantSpec::uniform(Precision::F16))).len();
+        let i8_len = encode_snapshot(&base.requantized(QuantSpec::uniform(Precision::I8))).len();
+        let f16_ratio = f32_len as f64 / f16_len as f64;
+        let i8_ratio = f32_len as f64 / i8_len as f64;
+        assert!(f16_ratio >= 1.7, "f16 file ratio {f16_ratio:.2} < 1.7");
+        assert!(i8_ratio >= 3.0, "int8 file ratio {i8_ratio:.2} < 3.0");
+    }
+
+    #[test]
+    fn non_positive_int8_scale_is_rejected() {
+        let q =
+            synthetic_snapshot(23, 8, 4, 2, 1, 4, 0).requantized(QuantSpec::uniform(Precision::I8));
+        let bytes = encode_snapshot(&q);
+        // The FEATURES payload opens with x0: precision code u32 (=2),
+        // rows u32, cols u32, then the f32 scale. Find the section start
+        // from the framing rather than hardcoding weight sizes.
+        let snap = decode_snapshot(&bytes).unwrap();
+        assert_eq!(snap, q);
+        // Direct reader-level check: a zero scale must be malformed.
+        let mut payload = Vec::new();
+        put_u32(&mut payload, Precision::I8.code());
+        put_u32(&mut payload, 1);
+        put_u32(&mut payload, 1);
+        payload.extend_from_slice(&0.0f32.to_le_bytes());
+        payload.push(0);
+        let mut r = Reader::new(&payload, "FEATURES");
+        match r.qmatrix(false) {
+            Err(SnapshotError::Malformed { what }) => {
+                assert!(what.contains("scale"), "{what}");
+            }
+            other => panic!("expected malformed scale, got {other:?}"),
+        }
     }
 
     #[test]

@@ -98,7 +98,7 @@ pub fn synthetic_snapshot(
             .map(|_| (0..k).map(|_| fill(&mut state, n_nodes, n_features)).collect())
             .collect(),
     };
-    Snapshot { tag: seed, export }
+    Snapshot::from_export(seed, export)
 }
 
 #[cfg(test)]

@@ -5,11 +5,55 @@
 //! [`amud_serve::SnapshotError`]. There is no third outcome: no panic,
 //! and never a silently different model.
 
-use amud_serve::snapshot::{decode_snapshot, encode_snapshot};
+use amud_quant::{Precision, QuantSpec};
+use amud_serve::snapshot::{decode_snapshot, encode_snapshot, Snapshot};
 use amud_serve::synthetic::synthetic_snapshot;
 use proptest::prelude::*;
 
+/// A mixed-precision (int8 features, f16 weights) snapshot — every
+/// quantized payload layout in the v2 format at once.
+fn quantized_fixture(seed: u64) -> Snapshot {
+    synthetic_snapshot(seed, 6, 3, 2, 2, 4, 0)
+        .requantized(QuantSpec { features: Precision::I8, weights: Precision::F16 })
+}
+
 proptest! {
+    #[test]
+    fn quantized_mutation_roundtrips_or_is_rejected(
+        seed in 0u64..10_000,
+        n_mut in 1usize..8,
+    ) {
+        let original = quantized_fixture(7);
+        let bytes = encode_snapshot(&original);
+        let corrupt = amud_train::faults::corrupt_binary(&bytes, seed, n_mut);
+        match decode_snapshot(&corrupt) {
+            Ok(s) => prop_assert_eq!(s, original),
+            Err(e) => prop_assert!(!e.to_string().is_empty()),
+        }
+    }
+
+    #[test]
+    fn quantized_truncation_point_is_rejected(point in 0usize..1_000_000) {
+        let bytes = encode_snapshot(&quantized_fixture(7));
+        let keep = point % bytes.len(); // every strict prefix, uniformly
+        let err = decode_snapshot(&bytes[..keep])
+            .expect_err("a strict prefix can never carry a valid file seal");
+        prop_assert!(!err.to_string().is_empty());
+    }
+
+    #[test]
+    fn quantized_clean_bytes_always_roundtrip(
+        seed in 0u64..1_000,
+        n_nodes in 1usize..10,
+        k_steps in 1usize..4,
+        precision in 0usize..3,
+    ) {
+        let p = Precision::from_code(precision as u32).unwrap();
+        let s = synthetic_snapshot(seed, n_nodes, 3, 2, k_steps, 4, 0)
+            .requantized(QuantSpec::uniform(p));
+        let decoded = decode_snapshot(&encode_snapshot(&s)).expect("clean bytes must decode");
+        prop_assert_eq!(decoded, s);
+    }
     #[test]
     fn any_byte_mutation_roundtrips_or_is_rejected(
         seed in 0u64..10_000,

@@ -250,6 +250,17 @@ fn cmd_snapshot(dataset: &str, flags: &Flags) {
         die("snapshot needs --out <file.snap>", 2);
     };
     let tag: u64 = flags.num("tag", 1);
+    // Validate the quantization spec before spending a training run on it.
+    let quant_spec = flags.get("quantize").map(|spec| {
+        amud_repro::quant::QuantSpec::parse(spec).unwrap_or_else(|| {
+            die(
+                &format!(
+                    "--quantize: unknown precision '{spec}' (want f32, f16, or int8, optionally features:weights)"
+                ),
+                2,
+            )
+        })
+    });
     let d = load_dataset(dataset);
     let data = to_bundle(&d);
     // TAINT-PURE(epochs): a user-facing epoch budget only bounds the
@@ -264,11 +275,16 @@ fn cmd_snapshot(dataset: &str, flags: &Flags) {
         .unwrap_or_else(|e| die(&e.to_string(), e.exit_code()));
     let result =
         train(&mut model, &prepared, cfg, 0).unwrap_or_else(|e| die(&e.to_string(), e.exit_code()));
-    let snapshot = amud_repro::serve::Snapshot { tag, export: model.export() };
+    let mut snapshot = amud_repro::serve::Snapshot::from_export(tag, model.export());
+    if let Some(spec) = quant_spec {
+        snapshot = snapshot.requantized(spec);
+    }
     let bytes = amud_repro::serve::write_snapshot(std::path::Path::new(out_path), &snapshot)
         .unwrap_or_else(|e| die(&e.to_string(), amud_serve_exit(&e)));
     println!(
-        "wrote snapshot tag {tag} ({bytes} bytes, test acc {:.3}) to {out_path}",
+        "wrote snapshot tag {tag} ({} features / {} weights, {bytes} bytes, test acc {:.3}) to {out_path}",
+        snapshot.export.spec().features.name(),
+        snapshot.export.spec().weights.name(),
         result.test_acc
     );
 }
@@ -332,9 +348,9 @@ fn main() {
     match raw.first().map(String::as_str) {
         Some("snapshot") => {
             let Some(dataset) = raw.get(1).filter(|d| !d.starts_with("--")) else {
-                die("usage: amud snapshot <dataset> --out <file.snap> [--tag N]", 2);
+                die("usage: amud snapshot <dataset> --out <file.snap> [--tag N] [--quantize f16|int8|f:w]", 2);
             };
-            let flags = Flags::parse(&raw[2..], &["out", "tag"]);
+            let flags = Flags::parse(&raw[2..], &["out", "tag", "quantize"]);
             cmd_snapshot(dataset, &flags);
             return;
         }

@@ -21,5 +21,6 @@ pub use amud_datasets as datasets;
 pub use amud_graph as graph;
 pub use amud_models as models;
 pub use amud_nn as nn;
+pub use amud_quant as quant;
 pub use amud_serve as serve;
 pub use amud_train as train;

@@ -319,6 +319,42 @@ fn snapshot_cli_trains_and_the_artifact_serves_predictions() {
     std::fs::remove_file(&path).ok();
 }
 
+/// Quantized-artifact e2e (run by `ci.sh` via the `ci_smoke` filter):
+/// requantize the synthetic snapshot to the mixed int8-features /
+/// f16-weights spec, serve it from disk through a real subprocess, and pin
+/// every wire reply to the in-process `Engine` on the same artifact.
+#[test]
+fn ci_smoke_quantized_snapshot_serves() {
+    use amud_repro::quant::QuantSpec;
+    use amud_repro::serve::{read_snapshot, Engine};
+
+    let spec = QuantSpec::parse("int8:f16").expect("spec");
+    let snap = synthetic_snapshot(13, 20, 4, 2, 2, 8, 0).requantized(spec);
+    let path = scratch("ci-smoke-quant.snap");
+    write_snapshot(&path, &snap).expect("write quantized snapshot");
+
+    // The artifact on disk is genuinely quantized, not silently widened.
+    let back = read_snapshot(&path).expect("re-read quantized snapshot");
+    assert_eq!(back.export.spec(), spec, "on-disk spec must survive the round trip");
+    let engine = Engine::new(back).expect("engine from quantized snapshot");
+
+    let server = ServerProc::start(&path, &[]);
+    let mut c = server.connect();
+    for node in [0usize, 5, 19] {
+        let reply = c.roundtrip(&format!("PREDICT {node}"));
+        assert!(reply.starts_with("OK "), "{reply}");
+        // Reply format: `OK <node>:<class>:<conf>` — pin the whole triple
+        // against the in-process engine on the same quantized artifact.
+        let p = &engine.predict(&[node]).expect("in-process predict")[0];
+        let want = format!("OK {}:{}:{:.6}", p.node, p.class, p.confidence);
+        assert_eq!(reply, want, "node {node}: wire reply diverged from in-process engine");
+    }
+    let health = c.roundtrip("HEALTH");
+    assert!(health.contains("tag=13"), "{health}");
+    server.shutdown();
+    std::fs::remove_file(&path).ok();
+}
+
 // --- CI smoke -------------------------------------------------------------
 
 /// The one test `ci.sh` runs by name: spawn a server, issue a normal
