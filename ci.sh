@@ -20,16 +20,26 @@ echo "==> amud-analyze (cargo run -p amud-lint)"
 cargo run --release -q -p amud-lint -- --report analyze-report.json
 
 echo "==> analyze-report.json summary"
-grep -A14 '"summary"' analyze-report.json || true
+grep -A17 '"summary"' analyze-report.json || true
 
 # The report is a deterministic artifact: no timestamps, sorted findings,
 # every rule listed (zero rows included). Two back-to-back runs over the
 # same tree must produce byte-identical JSON, or downstream report diffing
 # is meaningless.
-echo "==> analyze-report.json is deterministic"
-cargo run --release -q -p amud-lint -- --report analyze-report.second.json
+# The second run adds --timings: wall-time lines go to stdout only, so
+# the JSON must still be byte-identical — and the total analysis time
+# must stay inside the CI runtime budget.
+echo "==> analyze-report.json is deterministic (--timings stays out of the JSON)"
+timings_out=$(cargo run --release -q -p amud-lint -- --timings --report analyze-report.second.json)
 cmp analyze-report.json analyze-report.second.json
 rm -f analyze-report.second.json
+
+wall_ms=$(printf '%s\n' "$timings_out" | sed -n 's/^amud-analyze: analysis wall time \([0-9][0-9]*\) ms$/\1/p')
+if [ -z "$wall_ms" ] || [ "$wall_ms" -gt 10000 ]; then
+    echo "error: analysis wall time '${wall_ms:-unparsed}' ms blew the 10000 ms budget" >&2
+    exit 1
+fi
+echo "    analysis wall time ${wall_ms} ms (budget 10000 ms)"
 
 # The engine must analyze its own crate cleanly with zero budgets —
 # explicit-file mode grants none, so the linter cannot accumulate debt in

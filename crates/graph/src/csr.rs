@@ -78,6 +78,8 @@ impl CsrMatrix {
             }
             col_idx.push(c as u32);
             values.push(v);
+            // BOUNDS(row_ptr): every r was range-checked against n_rows in
+            // the validation loop above; row_ptr has n_rows + 1 slots.
             row_ptr[r + 1] += 1;
             last = Some((r, c));
         }
@@ -134,11 +136,15 @@ impl CsrMatrix {
 
     /// Column indices of row `r` (sorted ascending).
     pub fn row_cols(&self, r: usize) -> &[u32] {
+        // BOUNDS(row_ptr, col_idx): CSR invariant — row_ptr holds n_rows + 1
+        // ascending offsets capped by col_idx.len(); callers pass r < n_rows.
         &self.col_idx[self.row_ptr[r]..self.row_ptr[r + 1]]
     }
 
     /// Values of row `r`, parallel to [`Self::row_cols`].
     pub fn row_values(&self, r: usize) -> &[f32] {
+        // BOUNDS(row_ptr, values): CSR invariant — row_ptr holds n_rows + 1
+        // ascending offsets capped by values.len(); callers pass r < n_rows.
         &self.values[self.row_ptr[r]..self.row_ptr[r + 1]]
     }
 
@@ -153,6 +159,8 @@ impl CsrMatrix {
     pub fn get(&self, r: usize, c: usize) -> f32 {
         let cols = self.row_cols(r);
         match cols.binary_search(&(c as u32)) {
+            // BOUNDS(row_values): binary_search hit inside row_cols(r) and
+            // row_values(r) has the same length (parallel CSR arrays).
             Ok(i) => self.row_values(r)[i],
             Err(_) => 0.0,
         }
@@ -162,6 +170,8 @@ impl CsrMatrix {
     /// small matrices only.
     pub fn to_dense(&self) -> Vec<f32> {
         let mut out = vec![0.0; self.n_rows * self.n_cols];
+        // BOUNDS(out): iter() yields r < n_rows and c < n_cols by the CSR
+        // invariant; out has n_rows · n_cols slots.
         for (r, c, v) in self.iter() {
             out[r * self.n_cols + c] = v;
         }
@@ -171,6 +181,8 @@ impl CsrMatrix {
     /// Transposes the matrix in O(nnz).
     pub fn transpose(&self) -> Self {
         let mut counts = vec![0usize; self.n_cols + 1];
+        // BOUNDS(counts): stored column indices are < n_cols by the CSR
+        // invariant and counts has n_cols + 1 slots.
         for &c in &self.col_idx {
             counts[c as usize + 1] += 1;
         }
@@ -181,6 +193,9 @@ impl CsrMatrix {
         let mut col_idx = vec![0u32; self.nnz()];
         let mut values = vec![0.0f32; self.nnz()];
         let mut cursor = counts;
+        // BOUNDS(cursor, col_idx, values): stored column indices are
+        // < n_cols; cursor[c] walks counts[c]..counts[c + 1] ≤ nnz, and
+        // col_idx/values were allocated with nnz slots.
         for (r, c, v) in self.iter() {
             let dst = cursor[c];
             col_idx[dst] = r as u32;
@@ -199,6 +214,8 @@ impl CsrMatrix {
         assert_eq!(out.len(), self.n_rows, "spmv: out length mismatch");
         for (r, o) in out.iter_mut().enumerate() {
             let mut acc = 0.0f32;
+            // BOUNDS(x): stored column indices are < n_cols by the CSR
+            // invariant; x.len() == n_cols is asserted above.
             for (&c, &v) in self.row_cols(r).iter().zip(self.row_values(r)) {
                 acc += v * x[c as usize];
             }
@@ -236,6 +253,8 @@ impl CsrMatrix {
         if x_cols == 0 {
             return;
         }
+        // BOUNDS(x): stored column indices are < n_cols by the CSR
+        // invariant and x.len() == n_cols · x_cols is asserted above.
         let x_row = |c: u32| &x[c as usize * x_cols..(c as usize + 1) * x_cols];
         let parts = self.spmm_parts(x_cols);
         amud_par::par_row_blocks_mut(out, x_cols, &parts, |_, rows, block| {
@@ -244,6 +263,8 @@ impl CsrMatrix {
                 let cols = self.row_cols(r);
                 let vals = self.row_values(r);
                 let main = cols.len() - cols.len() % 4;
+                // BOUNDS(vals): row_values(r) parallels row_cols(r) — the
+                // same row_ptr window — so main ≤ vals.len().
                 for tb in 0..main / 4 {
                     let t = tb * 4;
                     lanes::lane_axpy4(
@@ -304,6 +325,9 @@ impl CsrMatrix {
         for r in 0..n_rows {
             scratch.clear();
             for &mid in self.row_cols(r) {
+                // BOUNDS(marker): other's stored column indices are
+                // < other.n_cols by the CSR invariant; marker has n_cols ==
+                // other.n_cols slots.
                 for &c in other.row_cols(mid as usize) {
                     if marker[c as usize] != r as u32 {
                         marker[c as usize] = r as u32;
@@ -401,6 +425,8 @@ impl CsrMatrix {
     /// Column sums (weighted in-degrees for an adjacency matrix).
     pub fn col_sums(&self) -> Vec<f32> {
         let mut sums = vec![0.0f32; self.n_cols];
+        // BOUNDS(sums): iter() yields c < n_cols by the CSR invariant and
+        // sums has n_cols slots.
         for (_, c, v) in self.iter() {
             sums[c] += v;
         }
@@ -411,6 +437,8 @@ impl CsrMatrix {
     pub fn scale_rows(&self, scale: &[f32]) -> CsrMatrix {
         assert_eq!(scale.len(), self.n_rows, "scale_rows: length mismatch");
         let mut out = self.clone();
+        // BOUNDS(row_ptr, values): CSR invariant — row_ptr holds n_rows + 1
+        // ascending offsets capped by values.len(); enumerate keeps r < n_rows.
         for (r, &s) in scale.iter().enumerate() {
             for v in &mut out.values[out.row_ptr[r]..out.row_ptr[r + 1]] {
                 *v *= s;
@@ -423,6 +451,8 @@ impl CsrMatrix {
     pub fn scale_cols(&self, scale: &[f32]) -> CsrMatrix {
         assert_eq!(scale.len(), self.n_cols, "scale_cols: length mismatch");
         let mut out = self.clone();
+        // BOUNDS(scale): stored column indices are < n_cols by the CSR
+        // invariant and scale.len() == n_cols is asserted above.
         for (v, &c) in out.values.iter_mut().zip(&out.col_idx) {
             *v *= scale[c as usize];
         }

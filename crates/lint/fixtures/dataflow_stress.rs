@@ -1,0 +1,89 @@
+//! Stress fixture for the abstract-interpretation domain: every access is
+//! provable, but only by composing several rules — min chains at full
+//! width, tuple destructuring, aligned chunking, window closures, scaled
+//! lane indices, and interprocedural method summaries. The golden expects
+//! zero findings.
+
+/// Five-operand min chain: each operand's length fact must survive the
+/// structural peel without exhausting proof depth.
+pub fn axpy4_like(out: &mut [f32], a: &[f32], b: &[f32], c: &[f32], d: &[f32]) {
+    let n = out.len().min(a.len()).min(b.len()).min(c.len()).min(d.len());
+    for i in 0..n {
+        out[i] += a[i] + b[i] + c[i] + d[i];
+    }
+}
+
+/// Tuple destructuring binds both lengths in one `let`.
+pub fn tuple_bound(a: &[f32], b: &[f32]) -> f32 {
+    let (n, m) = (a.len(), b.len());
+    let mut s = 0.0;
+    for i in 0..n {
+        s += a[i];
+    }
+    for j in 0..m {
+        s += b[j];
+    }
+    s
+}
+
+/// `chunks_exact` width is a length fact on the chunk binding.
+pub fn chunked(a: &[f32]) -> f32 {
+    let mut s = 0.0;
+    for ch in a.chunks_exact(8) {
+        s += ch[0] + ch[7];
+    }
+    s
+}
+
+/// `windows(2)` closures get a window-length fact.
+pub fn is_sorted(p: &[usize]) -> bool {
+    p.windows(2).all(|w| w[0] <= w[1])
+}
+
+/// Nested lane blocking: the outer bound divides by the window width and
+/// the inner scaled index recombines with it.
+pub fn lane_blocked(a: &[f32]) -> f32 {
+    let main = a.len() - a.len() % 4;
+    let mut s = 0.0;
+    for tb in 0..main / 4 {
+        let t = tb * 4;
+        s += a[t] + a[t + 1] + a[t + 2] + a[t + 3];
+    }
+    for t in main..a.len() {
+        s += a[t];
+    }
+    s
+}
+
+/// Row-major container with a getter and a row summary.
+pub struct Grid {
+    data: Vec<f32>,
+    cols: usize,
+}
+
+impl Grid {
+    /// Column count.
+    pub fn cols(&self) -> usize {
+        self.cols
+    }
+
+    /// Row `r` as a slice.
+    pub fn row(&self, r: usize) -> &[f32] {
+        // BOUNDS(data): row-major invariant — callers pass r < rows
+        &self.data[r * self.cols..(r + 1) * self.cols]
+    }
+}
+
+/// Interprocedural: `g.cols()` canonicalises to `g.cols`, which is the
+/// symbolic length the `row` summary assigned to `r`.
+pub fn row_sum4(g: &Grid, r: usize) -> f32 {
+    let row = g.row(r);
+    let k_extent = g.cols();
+    let k_main = k_extent - k_extent % 4;
+    let mut s = 0.0;
+    for kb in 0..k_main / 4 {
+        let k = kb * 4;
+        s += row[k] + row[k + 1] + row[k + 2] + row[k + 3];
+    }
+    s
+}

@@ -1,0 +1,24 @@
+//! Seeded `exit-code-registry` fixture: a documented train-side code, an
+//! undocumented code flowing through an exit sink, and a serve-owned code
+//! claimed from the train side.
+
+/// Exit helper; constants flowing through it are claims at the call site.
+fn die(msg: &str, code: i32) -> ! {
+    eprintln!("{msg}");
+    std::process::exit(code)
+}
+
+/// Documented: code 3 (bad input) belongs to the train-side table.
+pub fn bad_input() -> ! {
+    std::process::exit(3)
+}
+
+/// VIOLATION: 42 appears in no exit-code table.
+pub fn undocumented() -> ! {
+    die("boom", 42)
+}
+
+/// VIOLATION: 9 (snapshot error) belongs to the serve-side table.
+pub fn wrong_domain() -> ! {
+    std::process::exit(9)
+}

@@ -1,0 +1,62 @@
+//! Seeded `index-bounds` fixture: proved accesses, an audited escape, and
+//! three violations the abstract domain must flag.
+
+/// Proved: the loop bound is the container length.
+pub fn proved_loop(a: &[f32]) -> f32 {
+    let mut s = 0.0;
+    for i in 0..a.len() {
+        s += a[i];
+    }
+    s
+}
+
+/// Proved: a symbolic alias of the length still dominates the access.
+pub fn proved_alias(a: &[f32]) -> f32 {
+    let n = a.len();
+    let m = n;
+    let mut s = 0.0;
+    for i in 0..m {
+        s += a[i];
+    }
+    s
+}
+
+/// Proved: the lane-blocked window carries a slice-length fact and the
+/// scaled index stays under the rounded-down bound.
+pub fn proved_window(a: &[f32]) -> f32 {
+    let n = a.len() - a.len() % 4;
+    let mut s = 0.0;
+    for i in 0..n / 4 {
+        let w = &a[i * 4..i * 4 + 4];
+        s += w[0] + w[3];
+    }
+    s
+}
+
+/// Audited: the caller contract is recorded in a `BOUNDS` escape.
+pub fn audited(a: &[f32], i: usize) -> f32 {
+    // BOUNDS(a): callers uphold i < a.len() by the gather contract
+    a[i]
+}
+
+/// VIOLATION: nothing dominates `i`.
+pub fn unproved(a: &[f32], i: usize) -> f32 {
+    a[i]
+}
+
+/// VIOLATION: the rebind killed the length fact.
+pub fn shadowed(a: &[f32]) -> f32 {
+    let n = a.len();
+    let n = n + 1;
+    let mut s = 0.0;
+    for i in 0..n {
+        s += a[i];
+    }
+    s
+}
+
+/// VIOLATION: a placeholder escape reason does not count as an audit.
+pub fn placeholder(a: &[f32], i: usize) -> f32 {
+    // BOUNDS(a): todo
+    a[i]
+}

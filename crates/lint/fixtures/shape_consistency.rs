@@ -1,0 +1,25 @@
+//! Seeded `shape-consistency` fixture: a traced-clean product and two
+//! dimension mismatches the shape domain must flag.
+
+/// Clean: inner dimensions agree.
+pub fn ok_product() {
+    let a = DenseMatrix::zeros(2, 3);
+    let b = DenseMatrix::zeros(3, 5);
+    let _c = a.matmul(&b);
+}
+
+/// VIOLATION: `a.cols` is 3 but `b.rows` is 4 at the matmul site.
+pub fn bad_product() {
+    let a = DenseMatrix::zeros(2, 3);
+    let b = DenseMatrix::zeros(4, 5);
+    let _c = a.matmul(&b);
+}
+
+/// VIOLATION: quantized weights keep their source shape through
+/// `QMatrix::quantize`, so the fused GEMM still sees 3 vs 5.
+pub fn bad_quantized() {
+    let a = DenseMatrix::zeros(2, 3);
+    let w = DenseMatrix::zeros(5, 4);
+    let qw = QMatrix::quantize(w, Mode::F16);
+    let _y = matmul_deq(&a, &qw);
+}

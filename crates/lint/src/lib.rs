@@ -26,11 +26,15 @@
 //!   function flows into its cache key or is `KEY-EXEMPT`-justified
 //!
 //! On top of the per-file passes, [`symbols`] + [`callgraph`] fuse every
-//! file into one workspace view, and [`workspace`] runs four
+//! file into one workspace view, and [`workspace`] runs seven
 //! interprocedural passes over it (DESIGN.md §12): `panic-reachability`,
-//! `determinism-taint`, `par-disjointness`, and `error-taxonomy`.
+//! `determinism-taint`, `par-disjointness`, `error-taxonomy`, and — riding
+//! the value-level abstract-interpretation layer in [`dataflow`]
+//! (DESIGN.md §16) — `index-bounds`, `shape-consistency`, and
+//! `exit-code-registry`.
 
 pub mod callgraph;
+pub mod dataflow;
 pub mod index;
 pub mod passes;
 pub mod report;
@@ -67,6 +71,44 @@ pub fn analyze_files(files: &[(String, String)]) -> Vec<Violation> {
     }
     out.extend(workspace::run_workspace_passes(&indexed));
     out
+}
+
+/// [`analyze_files`] with per-stage wall-clock instrumentation, feeding
+/// the `--timings` summary column. The returned violations are identical
+/// to the untimed run (the final [`resolve`] re-sorts), and the durations
+/// never reach the JSON report — timings are human-output only, so the
+/// byte-identical determinism contract on `analyze-report.json` holds.
+pub fn analyze_files_timed(
+    files: &[(String, String)],
+) -> (Vec<Violation>, Vec<(String, std::time::Duration)>) {
+    let mut timings = Vec::new();
+    let t0 = std::time::Instant::now();
+    let indexed: Vec<(String, index::FileIndex)> = files
+        .iter()
+        .map(|(label, src)| (label.clone(), index::FileIndex::new(tokenizer::tokenize(src))))
+        .collect();
+    timings.push(("tokenize+index".to_string(), t0.elapsed()));
+
+    let mut out = Vec::new();
+    for (name, pass) in passes::FILE_PASSES {
+        let t = std::time::Instant::now();
+        for (label, ix) in &indexed {
+            pass(label, ix, &mut out);
+        }
+        timings.push((name.to_string(), t.elapsed()));
+    }
+
+    let t = std::time::Instant::now();
+    let syms = symbols::SymbolTable::build(&indexed);
+    let cg = callgraph::CallGraph::build(&indexed, &syms);
+    timings.push(("symbols+callgraph".to_string(), t.elapsed()));
+
+    for (name, pass) in workspace::WORKSPACE_PASSES {
+        let t = std::time::Instant::now();
+        pass(&indexed, &syms, &cg, &mut out);
+        timings.push((name.to_string(), t.elapsed()));
+    }
+    (out, timings)
 }
 
 /// One baseline entry: a violation budget plus its written justification.

@@ -17,11 +17,12 @@
 //! cargo run -p amud-lint                        # check the workspace
 //! cargo run -p amud-lint -- --bless             # rewrite lint-allow.txt from current counts
 //! cargo run -p amud-lint -- --report out.json   # also write analyze-report.json
+//! cargo run -p amud-lint -- --timings           # per-pass wall-time summary column
 //! cargo run -p amud-lint -- --baseline f FILE…  # lint specific files against a baseline
 //! cargo run -p amud-lint -- FILE…               # lint specific files (zero budgets)
 //! ```
 
-use amud_lint::{analyze_files, report, resolve, Baseline};
+use amud_lint::{analyze_files, analyze_files_timed, report, resolve, Baseline};
 use std::collections::BTreeSet;
 use std::path::{Path, PathBuf};
 use std::process::ExitCode;
@@ -87,18 +88,25 @@ fn rel(root: &Path, path: &Path) -> String {
 
 struct Options {
     bless: bool,
+    timings: bool,
     report_path: Option<PathBuf>,
     baseline_path: Option<PathBuf>,
     explicit: Vec<PathBuf>,
 }
 
 fn parse_args(args: &[String]) -> Result<Options, String> {
-    let mut opts =
-        Options { bless: false, report_path: None, baseline_path: None, explicit: Vec::new() };
+    let mut opts = Options {
+        bless: false,
+        timings: false,
+        report_path: None,
+        baseline_path: None,
+        explicit: Vec::new(),
+    };
     let mut it = args.iter();
     while let Some(a) = it.next() {
         match a.as_str() {
             "--bless" => opts.bless = true,
+            "--timings" => opts.timings = true,
             "--report" => match it.next() {
                 Some(p) => opts.report_path = Some(PathBuf::from(p)),
                 None => return Err("--report needs a path".into()),
@@ -109,7 +117,7 @@ fn parse_args(args: &[String]) -> Result<Options, String> {
             },
             flag if flag.starts_with("--") => {
                 return Err(format!(
-                    "unknown flag '{flag}' (recognised: --bless, --report <path>, --baseline <path>)"
+                    "unknown flag '{flag}' (recognised: --bless, --timings, --report <path>, --baseline <path>)"
                 ));
             }
             file => opts.explicit.push(PathBuf::from(file)),
@@ -177,7 +185,14 @@ fn main() -> ExitCode {
     }
     // Per-file passes and the interprocedural workspace passes run over
     // the same file set; explicit-file mode is simply a small workspace.
-    let violations = analyze_files(&sources);
+    // Timings stay out of the JSON report, so both paths feed the same
+    // deterministic resolution.
+    let (violations, timings) = if opts.timings {
+        let (vs, ts) = analyze_files_timed(&sources);
+        (vs, Some(ts))
+    } else {
+        (analyze_files(&sources), None)
+    };
 
     let res = resolve(violations, &scanned, &baseline);
 
@@ -214,7 +229,10 @@ fn main() -> ExitCode {
     for n in &res.notes {
         println!("note: {n}");
     }
-    print!("{}", report::render_summary(scanned.len(), &res));
+    match &timings {
+        Some(ts) => print!("{}", report::render_summary_timed(scanned.len(), &res, ts)),
+        None => print!("{}", report::render_summary(scanned.len(), &res)),
+    }
 
     if !res.fresh.is_empty() {
         ExitCode::from(EXIT_VIOLATION)

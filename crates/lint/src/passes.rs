@@ -30,6 +30,11 @@
 //!   function that consults a content-addressed store must flow into the
 //!   cache key (traced through `let` bindings) or carry an explicit
 //!   `// KEY-EXEMPT(param): reason` justification.
+//!
+//! The interprocedural rules (`panic-reachability`, `determinism-taint`,
+//! `par-disjointness`, `error-taxonomy`) live in [`crate::workspace`]; the
+//! value-level abstract-interpretation rules (`index-bounds`,
+//! `shape-consistency`, `exit-code-registry`) live in [`crate::dataflow`].
 
 use crate::index::{match_delim, next_code, prev_code, FileIndex, UnsafeKind};
 use crate::tokenizer::TokKind;
@@ -51,6 +56,9 @@ pub enum RuleKind {
     DeterminismTaint,
     ParDisjointness,
     ErrorTaxonomy,
+    IndexBounds,
+    ShapeConsistency,
+    ExitCodeRegistry,
 }
 
 impl RuleKind {
@@ -68,6 +76,9 @@ impl RuleKind {
             RuleKind::DeterminismTaint => "determinism-taint",
             RuleKind::ParDisjointness => "par-disjointness",
             RuleKind::ErrorTaxonomy => "error-taxonomy",
+            RuleKind::IndexBounds => "index-bounds",
+            RuleKind::ShapeConsistency => "shape-consistency",
+            RuleKind::ExitCodeRegistry => "exit-code-registry",
         }
     }
 
@@ -86,6 +97,9 @@ impl RuleKind {
             RuleKind::DeterminismTaint,
             RuleKind::ParDisjointness,
             RuleKind::ErrorTaxonomy,
+            RuleKind::IndexBounds,
+            RuleKind::ShapeConsistency,
+            RuleKind::ExitCodeRegistry,
         ]
     }
 
@@ -208,29 +222,67 @@ fn violation(
     }
 }
 
+/// A per-file pass entry point; gating on [`rules_for`] happens inside.
+pub(crate) type FilePass = fn(&str, &FileIndex, &mut Vec<Violation>);
+
+fn gate_panic(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) {
+    if rules_for(path).forbid_panic {
+        pass_panic(path, ix, out);
+    }
+}
+
+fn gate_unsafe(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) {
+    pass_unsafe_contract(path, ix, rules_for(path).confine_raw_pointers, out);
+}
+
+fn gate_docs(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) {
+    if rules_for(path).require_docs {
+        pass_docs(path, ix, out);
+    }
+}
+
+fn gate_threads(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) {
+    if rules_for(path).forbid_raw_threads {
+        pass_threads(path, ix, out);
+    }
+}
+
+fn gate_sync(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) {
+    if rules_for(path).forbid_sync_primitives {
+        pass_sync_primitives(path, ix, out);
+    }
+}
+
+fn gate_float(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) {
+    if rules_for(path).float_determinism {
+        pass_float_determinism(path, ix, out);
+    }
+}
+
+fn gate_cache_key(path: &str, ix: &FileIndex, out: &mut Vec<Violation>) {
+    if rules_for(path).cache_key {
+        pass_cache_key(path, ix, out);
+    }
+}
+
+/// The per-file passes in dispatch order, labelled by the rule they
+/// enforce (the label feeds the `--timings` column).
+pub(crate) const FILE_PASSES: &[(&str, FilePass)] = &[
+    ("unwrap-ratchet", pass_unwrap),
+    ("panic-in-kernel", gate_panic),
+    ("unsafe-contract", gate_unsafe),
+    ("undocumented-public-item", gate_docs),
+    ("raw-thread-spawn", gate_threads),
+    ("concurrency-discipline", gate_sync),
+    ("float-determinism", gate_float),
+    ("cache-key-completeness", gate_cache_key),
+];
+
 /// Runs every pass applicable to `path` over the indexed file.
 pub fn run_passes(path: &str, ix: &FileIndex) -> Vec<Violation> {
-    let rules = rules_for(path);
     let mut out = Vec::new();
-    pass_unwrap(path, ix, &mut out);
-    if rules.forbid_panic {
-        pass_panic(path, ix, &mut out);
-    }
-    pass_unsafe_contract(path, ix, rules.confine_raw_pointers, &mut out);
-    if rules.require_docs {
-        pass_docs(path, ix, &mut out);
-    }
-    if rules.forbid_raw_threads {
-        pass_threads(path, ix, &mut out);
-    }
-    if rules.forbid_sync_primitives {
-        pass_sync_primitives(path, ix, &mut out);
-    }
-    if rules.float_determinism {
-        pass_float_determinism(path, ix, &mut out);
-    }
-    if rules.cache_key {
-        pass_cache_key(path, ix, &mut out);
+    for (_, pass) in FILE_PASSES {
+        pass(path, ix, &mut out);
     }
     out.sort_by_key(|a| (a.line, a.col, a.rule));
     out

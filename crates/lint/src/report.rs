@@ -150,3 +150,43 @@ pub fn render_summary(files_scanned: usize, res: &Resolution) -> String {
     );
     out
 }
+
+/// The `--timings` variant of [`render_summary`]: the same per-rule rows
+/// with a wall-time column, followed by the pipeline stages that are not
+/// rules (lexing, symbol fusion) and a parseable total line. Timings are
+/// human output only — they never enter `analyze-report.json`, which must
+/// stay byte-identical across runs.
+pub fn render_summary_timed(
+    files_scanned: usize,
+    res: &Resolution,
+    timings: &[(String, std::time::Duration)],
+) -> String {
+    let ms = |d: &std::time::Duration| d.as_secs_f64() * 1000.0;
+    let by_name: BTreeMap<&str, f64> = timings.iter().map(|(n, d)| (n.as_str(), ms(d))).collect();
+    let mut out = String::new();
+    let summary = summary_counts(res);
+    for (rule, [fresh, regressions, baselined]) in &summary {
+        let t = by_name.get(rule.as_str()).copied().unwrap_or(0.0);
+        let _ = writeln!(
+            out,
+            "  {rule:<26} fresh {fresh:>3}   regressions {regressions:>3}   baselined {baselined:>3}   {t:>8.2} ms"
+        );
+    }
+    for (name, d) in timings {
+        if !summary.contains_key(name.as_str()) {
+            let t = ms(d);
+            let _ = writeln!(out, "  {name:<26} (pipeline stage){:>29}{t:>8.2} ms", "");
+        }
+    }
+    let total: f64 = timings.iter().map(|(_, d)| ms(d)).sum();
+    let _ = writeln!(out, "amud-analyze: analysis wall time {:.0} ms", total.ceil());
+    let _ = writeln!(
+        out,
+        "amud-analyze: {files_scanned} file(s), {} fresh violation(s), {} regression(s), {} baselined, {} note(s)",
+        res.fresh.len(),
+        res.regressions.len(),
+        res.baselined.values().sum::<usize>(),
+        res.notes.len()
+    );
+    out
+}

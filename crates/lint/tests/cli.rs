@@ -60,6 +60,9 @@ fn exit_1_on_each_interprocedural_fixture() {
         ("par_disjointness.rs", "crates/nn/src/fixture.rs", "par-disjointness"),
         ("error_taxonomy.rs", "crates/datasets/src/fixture.rs", "error-taxonomy"),
         ("serve_error_taxonomy.rs", "crates/serve/src/fixture.rs", "error-taxonomy"),
+        ("index_bounds.rs", "crates/par/src/fixture.rs", "index-bounds"),
+        ("shape_consistency.rs", "crates/train/src/fixture.rs", "shape-consistency"),
+        ("exit_code_registry.rs", "crates/train/src/fixture.rs", "exit-code-registry"),
     ];
     for (fixture_name, rel_label, rule) in cases {
         let dir = scratch().join("interprocedural").join(rule);
@@ -122,6 +125,15 @@ fn exit_1_on_float_determinism_fixture() {
         stdout.contains("lane accumulator"),
         "must include the raw lane-accumulator finding: {stdout}"
     );
+}
+
+#[test]
+fn timings_flag_prints_wall_time_and_keeps_exit_code() {
+    let out = run(&["--timings", &fixture("clean.rs")]);
+    assert_eq!(out.status.code(), Some(0), "stdout: {}", String::from_utf8_lossy(&out.stdout));
+    let stdout = String::from_utf8_lossy(&out.stdout);
+    assert!(stdout.contains("amud-analyze: analysis wall time"), "total line: {stdout}");
+    assert!(stdout.contains(" ms"), "per-pass column: {stdout}");
 }
 
 #[test]

@@ -199,6 +199,46 @@ fn serve_error_taxonomy_pass_golden() {
 }
 
 #[test]
+fn index_bounds_pass_golden() {
+    // Proved loops, an audited escape, and three seeded violations: an
+    // undominated index, a shadow-killed length fact, and a placeholder
+    // escape reason.
+    golden_check_files("index_bounds.rs", "crates/par/src/fixture.rs", RuleKind::IndexBounds, 3);
+}
+
+#[test]
+fn shape_consistency_pass_golden() {
+    // One clean product and two inner-dimension mismatches, one of them
+    // flowing through QMatrix::quantize.
+    golden_check_files(
+        "shape_consistency.rs",
+        "crates/train/src/fixture.rs",
+        RuleKind::ShapeConsistency,
+        2,
+    );
+}
+
+#[test]
+fn exit_code_registry_pass_golden() {
+    // A documented train-side exit, an undocumented code through an exit
+    // sink, and a serve-owned code claimed from the train side.
+    golden_check_files(
+        "exit_code_registry.rs",
+        "crates/train/src/fixture.rs",
+        RuleKind::ExitCodeRegistry,
+        2,
+    );
+}
+
+#[test]
+fn dataflow_stress_fixture_is_clean() {
+    // Every access needs a composed proof — min chains, tuple lets,
+    // chunking, windows, scaled lane indices, method summaries — and the
+    // domain must discharge all of them without an escape.
+    golden_check_files("dataflow_stress.rs", "crates/par/src/fixture.rs", RuleKind::IndexBounds, 0);
+}
+
+#[test]
 fn clean_fixture_is_clean_everywhere() {
     let src = fixture("clean.rs");
     for label in

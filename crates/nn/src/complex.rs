@@ -32,12 +32,14 @@ impl ComplexSparseOp {
     /// where `Â_s = ½(A + Aᵀ)` with self-loops. `q ∈ [0, 0.25]` is the
     /// charge parameter: `q = 0` recovers the symmetrised real operator.
     pub fn magnetic(a: &CsrMatrix, q: f32) -> Self {
+        assert_eq!(a.n_rows(), a.n_cols(), "magnetic: adjacency must be square");
         let at = a.transpose();
-        let sym = a
-            .add_scaled(0.5, &at, 0.5)
-            .expect("A and Aᵀ share a shape")
-            .with_self_loops(1.0)
-            .sym_normalized();
+        let sym = match a.add_scaled(0.5, &at, 0.5) {
+            Ok(m) => m.with_self_loops(1.0).sym_normalized(),
+            // `a` is square (asserted above), so the transpose shares its
+            // shape exactly and add_scaled cannot reject it.
+            Err(_) => unreachable!("square A and Aᵀ share a shape"),
+        };
         let theta_base = std::f32::consts::TAU * q;
         // Phase per entry: 2πq * (A(u,v) − A(v,u)).
         let mut re_triplets = Vec::with_capacity(sym.nnz());
@@ -52,11 +54,18 @@ impl ComplexSparseOp {
             }
         }
         let n = sym.n_rows();
-        let re_mat = CsrMatrix::from_coo(n, n, re_triplets).expect("in-bounds entries");
+        let Ok(re_mat) = CsrMatrix::from_coo(n, n, re_triplets) else {
+            // Every triplet came from `sym.iter()`, which yields u, v < n.
+            unreachable!("triplets gathered from sym.iter() are in bounds")
+        };
         let im_mat = if im_triplets.is_empty() {
             CsrMatrix::zeros(n, n)
         } else {
-            CsrMatrix::from_coo(n, n, im_triplets).expect("in-bounds entries")
+            match CsrMatrix::from_coo(n, n, im_triplets) {
+                Ok(m) => m,
+                // Same provenance as re_triplets: u, v < n from sym.iter().
+                Err(_) => unreachable!("triplets gathered from sym.iter() are in bounds"),
+            }
         };
         Self::new(re_mat, im_mat)
     }

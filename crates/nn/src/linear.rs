@@ -119,7 +119,12 @@ impl Mlp {
     }
 
     pub fn out_dim(&self) -> usize {
-        self.layers.last().expect("MLP has at least one layer").out_dim
+        match self.layers.last() {
+            Some(layer) => layer.out_dim,
+            // `MLP::new` asserts `dims.len() >= 2`, so the stack holds at
+            // least one layer for the lifetime of the value.
+            None => unreachable!("MLP construction requires at least one layer"),
+        }
     }
 }
 

@@ -325,6 +325,8 @@ impl QMatrix {
                 out[..n].copy_from_slice(&row[..n]);
             }
             QMatrix::F16 { cols, bits, .. } => {
+                // BOUNDS(bits, q): QMatrix payloads hold rows · cols encoded
+                // entries; the serving gather contract passes r < rows.
                 let row = &bits[r * cols..(r + 1) * cols];
                 for (o, &b) in out.iter_mut().zip(row) {
                     *o = f16_to_f32(b);
@@ -363,6 +365,8 @@ pub fn matmul_deq(a: &DenseMatrix, b: &QMatrix) -> DenseMatrix {
             }
             let parts = output_row_parts(n, k_extent * cols);
             let k_main = k_extent - k_extent % 4;
+            // BOUNDS(bits): the F16 payload holds rows · cols entries and
+            // k < k_extent == rows (asserted), so row k stays inside it.
             let brow = |k: usize| &bits[k * cols..(k + 1) * cols];
             amud_par::par_row_blocks_mut(out.as_mut_slice(), cols, &parts, |_, rows, block| {
                 for (out_row, i) in block.chunks_exact_mut(cols).zip(rows) {
@@ -401,6 +405,8 @@ pub fn matmul_deq(a: &DenseMatrix, b: &QMatrix) -> DenseMatrix {
             }
             let parts = output_row_parts(n, k_extent * cols);
             let k_main = k_extent - k_extent % 4;
+            // BOUNDS(q): the I8 payload holds rows · cols entries and
+            // k < k_extent == rows (asserted), so row k stays inside it.
             let brow = |k: usize| &q[k * cols..(k + 1) * cols];
             amud_par::par_row_blocks_mut(out.as_mut_slice(), cols, &parts, |_, rows, block| {
                 for (out_row, i) in block.chunks_exact_mut(cols).zip(rows) {
